@@ -1,0 +1,80 @@
+"""Ablations: ND-DIFF processing orders and signature pruning.
+
+- Section IV-A.2 notes the authors tried a shingle-ordering heuristic
+  for ND-DIFF and found it "essentially the same" as neighbor chains;
+  this benchmark reproduces that non-result (identical counts, the
+  same ballpark runtime).
+- Section I's graph-indexing application: census-based node signatures
+  should prune strictly more candidates than the label-profile filter
+  alone on structured patterns.
+"""
+
+from repro.analysis.signatures import SignatureIndex
+from repro.bench.harness import Sweep
+from repro.bench.reporting import render_series
+from repro.census.nd_diff import nd_diff_census
+from repro.datasets.workloads import pa_graph
+from repro.graph.generators import preferential_attachment
+from repro.lang.catalog import standard_catalog
+from repro.matching.base import enumerate_candidates
+
+from conftest import run_once
+
+
+def test_ablation_nd_diff_orders(benchmark, record_figure):
+    graph = pa_graph(800, labeled=False)
+    pattern = standard_catalog().get("clq3-unlb")
+    sweep = Sweep("ablation: ND-DIFF orders", x_label="order")
+    results = {}
+
+    def run():
+        for order in ("neighbor", "shingle", "given"):
+            results[order] = sweep.run("time", order, nd_diff_census, graph, pattern, 2,
+                                       None, None, "cn", order)
+        return sweep
+
+    run_once(benchmark, run)
+    record_figure("ablation_nd_diff_orders", render_series(sweep))
+
+    # Identical counts regardless of order.
+    assert results["neighbor"] == results["shingle"] == results["given"]
+    # The paper's non-result: shingle ordering is essentially the same
+    # as neighbor chains (within a small factor).
+    t_neighbor = sweep.value("time", "neighbor")
+    t_shingle = sweep.value("time", "shingle")
+    assert t_shingle < 4 * t_neighbor
+    assert t_neighbor < 4 * t_shingle
+
+
+def test_ablation_signature_pruning(benchmark, record_figure):
+    graph = preferential_attachment(500, m=3, seed=5)
+    pattern = standard_catalog().get("clq3-unlb")
+
+    def run():
+        return SignatureIndex(graph, radius=1)
+
+    index = run_once(benchmark, run)
+
+    profile_candidates = enumerate_candidates(graph, pattern)
+    signature_candidates = index.candidates(pattern)
+    profile_kept = sum(len(c) for c in profile_candidates.values())
+    signature_kept = sum(len(c) for c in signature_candidates.values())
+    total = graph.num_nodes * len(pattern.nodes)
+
+    lines = [
+        "ablation: signature pruning vs profile filter (unlabeled clq3)",
+        f"  candidate pairs total:   {total}",
+        f"  profile filter keeps:    {profile_kept}",
+        f"  signature filter keeps:  {signature_kept}",
+        f"  signature pruning power: {index.pruning_power(pattern):.3f}",
+    ]
+    record_figure("ablation_signatures", "\n".join(lines))
+
+    # Signatures prune at least as hard as the profile filter on an
+    # unlabeled clique pattern (triangle counts see what label profiles
+    # cannot).
+    assert signature_kept <= profile_kept
+    # Soundness is covered by unit tests; sanity-check one direction
+    # here too: signature candidates for cliques require degree >= 2.
+    for var, nodes in signature_candidates.items():
+        assert all(graph.degree(n) >= 2 for n in nodes)

@@ -1,0 +1,109 @@
+"""Figure 4(h): DBLP link prediction precision@50 / precision@600.
+
+Paper setup: co-authorship from SIGMOD/VLDB/ICDE 2001–2005 predicts
+collaborations of 2006–2010; author pairs are scored by the number of
+nodes / edges / triangles in their common 1/2/3-hop neighborhoods (nine
+census measures) plus Jaccard and random baselines.  Paper findings:
+the census structure measures dominate — the best (common nodes within
+2 hops on real DBLP) is roughly twice Jaccard — and the random
+predictor has zero precision.
+
+This runs on the synthetic DBLP stand-in (see
+``repro.datasets.dblp``).  Asserted shape: (1) the random baseline is
+the weakest at both cutoffs, (2) the best census measure beats Jaccard
+at P@50, and (3) the strongest measure is a low-radius (1–2 hop)
+common-neighborhood count.  On synthetic data the radius-1 node count
+can edge out the radius-2 one (the generator's closure signal is more
+directly 1-hop than real DBLP's); EXPERIMENTS.md discusses the
+deviation.
+"""
+
+from repro.analysis.linkprediction import LinkPredictionExperiment
+from repro.bench.harness import Sweep
+from repro.datasets.dblp import synthetic_dblp
+
+from conftest import run_once
+
+KS = (50, 600)
+
+
+def test_fig4h_precision(benchmark, record_figure):
+    # A dense training era (many candidate pairs) and a lighter test
+    # era (few realized pairs) keep the random baseline near the base
+    # rate, as in the paper's much larger pair universe.
+    data = synthetic_dblp(num_authors=500, num_areas=10, papers_per_year=150,
+                          authors_per_paper=(2, 3), closure_bias=2.0,
+                          region_bias=0.5, bridge_fraction=0.5,
+                          test_papers_per_year=60, seed=11)
+    candidates = data.candidate_pairs(max_distance=3)
+    experiment = LinkPredictionExperiment(data.train_graph, data.test_pairs, candidates)
+
+    def run():
+        return experiment.report(ks=KS)
+
+    rows = run_once(benchmark, run)
+
+    precisions = {name: p for name, p in rows}
+    lines = [
+        "fig4h: link prediction on synthetic DBLP",
+        f"  train: {data.train_graph.num_nodes} authors, "
+        f"{data.train_graph.num_edges} edges; "
+        f"candidates={len(candidates)}, new pairs={len(data.test_pairs)}",
+        f"  {'measure':16s}  " + "  ".join(f"P@{k:<4d}" for k in KS),
+    ]
+    for name, p in rows:
+        lines.append(f"  {name:16s}  " + "  ".join(f"{p[k]:.3f}" for k in KS))
+    record_figure("fig4h", "\n".join(lines))
+
+    census_measures = {
+        name: p for name, p in precisions.items() if name not in ("jaccard", "random")
+    }
+    # Shape: random has far less precision than the best census
+    # measures (the paper's random predictor scores zero on its much
+    # larger pair universe; ours is bounded below by the candidate
+    # pool's base rate).
+    best50 = max(p[50] for p in census_measures.values())
+    best600 = max(p[600] for p in census_measures.values())
+    assert precisions["random"][50] < 0.5 * best50
+    assert precisions["random"][600] < 0.8 * best600
+    # Shape: the best census measure beats Jaccard at P@50.
+    assert best50 > 1.2 * precisions["jaccard"][50]
+    # Shape: a low-radius common-neighborhood count is the strongest.
+    winner = max(census_measures, key=lambda name: census_measures[name][50])
+    assert winner in ("node@1hop", "node@2hop", "edge@1hop", "edge@2hop"), winner
+
+
+def test_fig4h_runtime(benchmark, record_figure):
+    """Section V-B runtime comparison: node-driven vs pattern-driven
+    pairwise evaluation, from the cheap (nodes in 1 hop) to the heavy
+    (triangles in 3 hops) configuration."""
+    import time
+
+    from repro.census.pairwise import pairwise_census
+
+    data = synthetic_dblp(num_authors=300, num_areas=8, papers_per_year=80,
+                          authors_per_paper=(2, 3), seed=7)
+    graph = data.train_graph
+    pairs = data.candidate_pairs(max_distance=2)[:400]
+    sweep = Sweep("fig4h-runtime: pairwise census strategies", x_label="config")
+
+    def run():
+        from repro.analysis.linkprediction import structure_pattern
+
+        for structure, radius in (("node", 1), ("edge", 2), ("triangle", 3)):
+            pattern = structure_pattern(structure)
+            label = f"{structure}@{radius}"
+            nd = sweep.run("ND", label, pairwise_census, graph, pattern, radius,
+                           pairs, "intersection", None, "nd")
+            pt = sweep.run("PT", label, pairwise_census, graph, pattern, radius,
+                           pairs, "intersection", None, "pt")
+            assert nd == pt
+        return sweep
+
+    run_once(benchmark, run)
+    from repro.bench.reporting import render_series
+
+    record_figure("fig4h_runtime", render_series(sweep))
+    # Both strategies must at least complete and agree; relative speed
+    # at this scale is reported, not asserted (the paper saw 0.9x-3.4x).
+    assert len(sweep.measurements) == 6

@@ -1,0 +1,48 @@
+"""Running census queries on the disk-resident storage engine.
+
+The paper's prototype runs on a disk-based graph engine; this example
+bulk-loads a preferential-attachment graph into the paged store, reopens
+it cold, and runs the same census query against memory and disk —
+identical results, plus buffer-pool statistics.
+
+Run:  python examples/disk_store.py
+"""
+
+import os
+import tempfile
+import time
+
+from repro import QueryEngine
+from repro.graph.generators import labeled_preferential_attachment
+from repro.storage import DiskGraph
+
+
+def main():
+    mem = labeled_preferential_attachment(2000, m=5, seed=13)
+    path = os.path.join(tempfile.mkdtemp(), "graph.db")
+
+    t0 = time.perf_counter()
+    store = DiskGraph.create(path, mem, cache_pages=128)
+    store.close()
+    print(f"bulk-loaded {mem.num_nodes} nodes / {mem.num_edges} edges "
+          f"in {time.perf_counter() - t0:.2f}s -> {os.path.getsize(path) / 1024:.0f} KiB")
+
+    disk = DiskGraph.open(path, cache_pages=128)
+    query = "SELECT ID, COUNTP(clq3, SUBGRAPH(ID, 2)) AS c FROM nodes ORDER BY c DESC LIMIT 5"
+
+    t0 = time.perf_counter()
+    mem_rows = QueryEngine(mem).execute(query)
+    mem_time = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    disk_rows = QueryEngine(disk).execute(query)
+    disk_time = time.perf_counter() - t0
+
+    assert mem_rows == disk_rows
+    print(f"\ntop-5 labeled-triangle egos (identical on both backends):\n{mem_rows}\n")
+    print(f"in-memory: {mem_time:.2f}s   disk-resident: {disk_time:.2f}s")
+    print(f"buffer pool: {disk.cache_stats()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Network comparison via graphlet orbit census.
+
+Section I cites Przulj's graphlet degree distributions as prior local
+motif counting; each orbit count is one COUNTSP census query here.
+This example profiles nodes of three different random-graph families
+and shows that the graphlet-degree-distribution distance groups graphs
+by family.
+
+Run:  python examples/graphlet_comparison.py
+"""
+
+from repro.analysis.graphlets import gdd_distance, graphlet_profiles
+from repro.graph.generators import (
+    erdos_renyi,
+    preferential_attachment,
+    watts_strogatz,
+)
+
+
+def main():
+    graphs = {
+        "pa-1": preferential_attachment(150, m=3, seed=1),
+        "pa-2": preferential_attachment(150, m=3, seed=2),
+        "er-1": erdos_renyi(150, 450, seed=3),
+        "er-2": erdos_renyi(150, 450, seed=4),
+        "ring": watts_strogatz(150, k=6, beta=0.05, seed=5),
+    }
+
+    hub_graph = graphs["pa-1"]
+    profiles = graphlet_profiles(hub_graph)
+    hub = max(hub_graph.nodes(), key=hub_graph.degree)
+    leaf = min(hub_graph.nodes(), key=hub_graph.degree)
+    print("orbit profiles (wedge-end, wedge-center, triangle):")
+    print(f"  hub  node {hub}: {profiles[hub]}")
+    print(f"  leaf node {leaf}: {profiles[leaf]}\n")
+
+    names = list(graphs)
+    print("pairwise GDD distance:")
+    header = "        " + "  ".join(f"{n:>6s}" for n in names)
+    print(header)
+    distances = {}
+    for a in names:
+        row = [f"{a:>6s}"]
+        for b in names:
+            d = distances.get((b, a))
+            if d is None:
+                d = gdd_distance(graphs[a], graphs[b])
+                distances[(a, b)] = d
+            row.append(f"{d:6.3f}")
+        print("  ".join(row))
+
+    same = (distances[("pa-1", "pa-2")] + distances[("er-1", "er-2")]) / 2
+    cross = distances[("pa-1", "er-1")]
+    print(f"\nmean within-family distance:  {same:.3f}")
+    print(f"PA vs ER distance:            {cross:.3f}")
+
+
+if __name__ == "__main__":
+    main()

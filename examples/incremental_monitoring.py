@@ -1,0 +1,61 @@
+"""Incremental census maintenance on a streaming graph.
+
+Maintains per-ego triangle counts while collaboration edges stream in,
+touching only the affected region of the graph on each update — the
+"evolving network" setting the paper's authors pursued in follow-up
+work.  The maintained counts are compared against a full recomputation
+at the end.
+
+Run:  python examples/incremental_monitoring.py
+"""
+
+import random
+import time
+
+from repro.census import census
+from repro.census.incremental import IncrementalCensus
+from repro.graph.generators import preferential_attachment
+from repro.matching.pattern import Pattern
+
+
+def main():
+    g = preferential_attachment(400, m=2, seed=8)
+    tri = Pattern("tri")
+    tri.add_edge("A", "B")
+    tri.add_edge("B", "C")
+    tri.add_edge("A", "C")
+
+    inc = IncrementalCensus(g, tri, k=1)
+    print(f"initial graph: {g.num_nodes} nodes / {g.num_edges} edges")
+    print(f"initial top ego: {max(inc.snapshot().items(), key=lambda t: t[1])}\n")
+
+    rng = random.Random(3)
+    stream = []
+    while len(stream) < 60:
+        u, v = rng.sample(range(g.num_nodes), 2)
+        if not g.has_edge(u, v):
+            stream.append((u, v))
+
+    t0 = time.perf_counter()
+    for i, (u, v) in enumerate(stream, 1):
+        inc.add_edge(u, v)
+        if i % 20 == 0:
+            node, count = max(inc.snapshot().items(), key=lambda t: t[1])
+            print(f"after {i:3d} insertions: top ego = node {node} ({count} triangles), "
+                  f"{inc.refreshed_nodes} node refreshes so far")
+    stream_time = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    full = census(g, tri, 1, algorithm="nd-pvot")
+    full_time = time.perf_counter() - t0
+
+    assert inc.snapshot() == full
+    print(f"\nmaintained counts match full recomputation")
+    print(f"60 incremental updates: {stream_time:.2f}s "
+          f"(one full recomputation: {full_time:.2f}s)")
+    print(f"total refreshed focal nodes: {inc.refreshed_nodes} "
+          f"of {60 * g.num_nodes} naive")
+
+
+if __name__ == "__main__":
+    main()

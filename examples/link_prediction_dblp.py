@@ -1,0 +1,40 @@
+"""The paper's Section V-B experiment on a synthetic DBLP stand-in.
+
+Trains on collaborations from 2001–2005 and predicts 2006–2010 pairs by
+counting nodes, edges, and triangles in the pairs' common 1/2/3-hop
+neighborhoods, then reports precision@K for each of the nine measures
+and the Jaccard / random baselines (the content of Figure 4(h)).
+
+Run:  python examples/link_prediction_dblp.py
+"""
+
+from repro.analysis.linkprediction import LinkPredictionExperiment
+from repro.datasets.dblp import synthetic_dblp
+
+
+def main():
+    data = synthetic_dblp(num_authors=250, papers_per_year=50, seed=11)
+    g = data.train_graph
+    print(
+        f"train graph: {g.num_nodes} authors, {g.num_edges} collaborations "
+        f"({data.train_years[0]}-{data.train_years[1]})"
+    )
+    print(
+        f"test era: {len(data.test_pairs)} new collaborating pairs "
+        f"({data.test_years[0]}-{data.test_years[1]})"
+    )
+
+    candidates = data.candidate_pairs(max_distance=3)
+    print(f"candidate pairs (within 3 hops, unconnected): {len(candidates)}\n")
+
+    experiment = LinkPredictionExperiment(g, data.test_pairs, candidates)
+    ks = (50, 600)
+    print(f"{'measure':16s}  " + "  ".join(f"P@{k:<4d}" for k in ks))
+    print("-" * 38)
+    for name, precisions in experiment.report(ks=ks):
+        cells = "  ".join(f"{precisions[k]:.3f}" for k in ks)
+        print(f"{name:16s}  {cells}")
+
+
+if __name__ == "__main__":
+    main()

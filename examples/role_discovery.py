@@ -1,0 +1,66 @@
+"""Structural role identification from census profiles.
+
+The paper's abstract lists role identification among the motivating
+applications.  Here, nodes of a hierarchy-shaped network (a core hub,
+mid-tier brokers, leaves) are embedded by their graphlet-orbit census
+profiles and clustered into roles — no positional information used,
+only local pattern counts.
+
+Run:  python examples/role_discovery.py
+"""
+
+from collections import Counter
+
+from repro.analysis.roles import extract_roles, role_summary
+from repro.graph.generators import preferential_attachment
+from repro.graph.graph import Graph
+
+
+def corporate_network(branches=6, teams_per_branch=3, team_size=4):
+    """HQ -> branch managers -> team leads -> team members, plus intra-
+    team collaboration edges (cliques at the bottom)."""
+    g = Graph()
+    hq = "HQ"
+    g.add_node(hq)
+    node_id = 0
+    for b in range(branches):
+        manager = f"mgr{b}"
+        g.add_edge(hq, manager)
+        for t in range(teams_per_branch):
+            lead = f"lead{b}.{t}"
+            g.add_edge(manager, lead)
+            members = []
+            for _ in range(team_size):
+                member = f"m{node_id}"
+                node_id += 1
+                g.add_edge(lead, member)
+                members.append(member)
+            for i, x in enumerate(members):  # intra-team clique
+                for y in members[i + 1:]:
+                    g.add_edge(x, y)
+    return g
+
+
+def main():
+    g = corporate_network()
+    print(f"network: {g.num_nodes} nodes / {g.num_edges} edges")
+
+    roles = extract_roles(g, num_roles=4, seed=3)
+    summary = role_summary(g, roles)
+    print("\ndiscovered roles:")
+    for role, info in sorted(summary.items()):
+        print(f"  role {role}: {info['size']} nodes, "
+              f"mean degree {info['mean_degree']:.1f}")
+
+    for label, probe in [("HQ", "HQ"), ("a branch manager", "mgr0"),
+                         ("a team lead", "lead0.0"), ("a team member", "m0")]:
+        print(f"  {label:17s} -> role {roles[probe]}")
+
+    # Sanity: team members (clique dwellers) dominate one role.
+    member_roles = Counter(roles[n] for n in g.nodes() if str(n).startswith("m")
+                           and not str(n).startswith("mgr"))
+    print(f"\nteam-member role distribution: {dict(member_roles)}")
+
+
+if __name__ == "__main__":
+    main()

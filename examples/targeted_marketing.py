@@ -1,0 +1,64 @@
+"""Targeted marketing: couples who are friends with couples.
+
+Reproduces the Figure 1(a) application.  The network has two edge
+types — ``rel='married'`` and ``rel='friend'``.  A travel agency wants
+the married couples whose combined 2-hop network contains the most
+*other* couples: a pairwise census of the couple pattern over
+SUBGRAPH-UNION neighborhoods, expressed with edge-attribute predicates.
+
+Run:  python examples/targeted_marketing.py
+"""
+
+import random
+
+from repro.census import pairwise_census
+from repro.graph.graph import Graph
+from repro.matching.pattern import Pattern
+from repro.matching.predicates import Comparison, Const, EdgeAttr
+
+
+def build_social_graph(num_people=120, num_couples=30, num_friendships=220, seed=3):
+    rng = random.Random(seed)
+    g = Graph()
+    for person in range(num_people):
+        g.add_node(person)
+    couples = []
+    singles = list(range(num_people))
+    rng.shuffle(singles)
+    for _ in range(num_couples):
+        a, b = singles.pop(), singles.pop()
+        g.add_edge(a, b, rel="married")
+        couples.append((a, b))
+    placed = 0
+    while placed < num_friendships:
+        a, b = rng.sample(range(num_people), 2)
+        if not g.has_edge(a, b):
+            g.add_edge(a, b, rel="friend")
+            placed += 1
+    return g, couples
+
+
+def couple_pattern():
+    p = Pattern("couple")
+    p.add_edge("A", "B")
+    p.add_predicate(Comparison(EdgeAttr("A", "B", "rel"), "=", Const("married")))
+    return p
+
+
+def main():
+    g, couples = build_social_graph()
+    print(f"social graph: {g.num_nodes} people, {g.num_edges} ties, {len(couples)} couples\n")
+
+    counts = pairwise_census(
+        g, couple_pattern(), 2, pairs=couples, mode="union", algorithm="nd"
+    )
+    ranked = sorted(counts.items(), key=lambda kv: -kv[1])
+
+    print("couples with the most couples in their combined 2-hop network:")
+    for (a, b), c in ranked[:8]:
+        # Subtract the couple itself, which always lies in its own union.
+        print(f"  couple ({a:3d}, {b:3d}): {c - 1} other couples in reach")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so that editable installs work on
+environments whose setuptools predates bundled wheel support
+(``pip install -e . --no-use-pep517`` falls back to this file).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,94 @@
+"""Ego-centric graph pattern census.
+
+A reproduction of *Ego-centric Graph Pattern Census* (Moustafa, Deshpande,
+Getoor — ICDE 2012).  The package provides:
+
+- :mod:`repro.graph` — an attributed, directed/undirected graph core with
+  k-hop neighborhood machinery and synthetic graph generators,
+- :mod:`repro.storage` — a paged, disk-resident adjacency-list storage
+  engine (the Neo4j stand-in used by the paper's prototype),
+- :mod:`repro.matching` — the paper's candidate-neighbor (CN) subgraph
+  matcher plus GQL-style and brute-force baselines,
+- :mod:`repro.census` — the node-driven (ND-BAS / ND-DIFF / ND-PVOT) and
+  pattern-driven (PT-BAS / PT-OPT / PT-RND) census evaluation algorithms,
+- :mod:`repro.lang` — the declarative SQL-based pattern census language,
+- :mod:`repro.query` — the end-to-end query engine,
+- :mod:`repro.analysis` — applications (ego measures, link prediction,
+  brokerage, structural balance),
+- :mod:`repro.datasets` — synthetic DBLP-style collaboration networks and
+  benchmark workloads.
+
+Quickstart::
+
+    from repro import Graph, QueryEngine
+
+    g = Graph()
+    g.add_edge(1, 2)
+    g.add_edge(2, 3)
+    g.add_edge(1, 3)
+
+    engine = QueryEngine(g)
+    engine.execute_script('PATTERN tri {?A-?B; ?B-?C; ?A-?C;}')
+    rows = engine.execute('SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes')
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    CensusError,
+    GraphError,
+    ParseError,
+    PatternError,
+    QueryError,
+    ReproError,
+    StorageError,
+)
+
+__all__ = [
+    "__version__",
+    "Graph",
+    "Pattern",
+    "PatternEdge",
+    "find_matches",
+    "census",
+    "pairwise_census",
+    "QueryEngine",
+    "ResultTable",
+    "ReproError",
+    "GraphError",
+    "StorageError",
+    "PatternError",
+    "ParseError",
+    "QueryError",
+    "CensusError",
+]
+
+# Heavier subsystems are imported lazily (PEP 562) so that low-level
+# modules remain importable in isolation and plain `import repro` stays
+# cheap.
+_LAZY = {
+    "Graph": ("repro.graph", "Graph"),
+    "Pattern": ("repro.matching", "Pattern"),
+    "PatternEdge": ("repro.matching", "PatternEdge"),
+    "find_matches": ("repro.matching", "find_matches"),
+    "census": ("repro.census", "census"),
+    "pairwise_census": ("repro.census", "pairwise_census"),
+    "QueryEngine": ("repro.query", "QueryEngine"),
+    "ResultTable": ("repro.query", "ResultTable"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

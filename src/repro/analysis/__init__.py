@@ -1,0 +1,85 @@
+"""Applications of ego-centric pattern census (Sections I and V-B).
+
+- :mod:`repro.analysis.measures` — classic ego measures (degree,
+  clustering coefficient, Jaccard) expressed as census queries, with
+  direct implementations to cross-check them,
+- :mod:`repro.analysis.linkprediction` — the paper's DBLP experiment:
+  pairwise structure counts as link-prediction scores, precision@K,
+- :mod:`repro.analysis.brokerage` — Gould–Fernandez brokerage role
+  census (coordinator, gatekeeper, representative, consultant, liaison),
+- :mod:`repro.analysis.balance` — structural-balance instability census
+  over signed networks.
+"""
+
+from repro.analysis.balance import (
+    balance_instability,
+    signed_triangle_pattern,
+    unstable_triangle_census,
+)
+from repro.analysis.brokerage import BROKERAGE_ROLES, brokerage_pattern, brokerage_scores
+from repro.analysis.linkprediction import (
+    LinkPredictionExperiment,
+    jaccard_scores,
+    precision_at_k,
+    random_scores,
+    structure_scores,
+)
+from repro.analysis.classification import (
+    classification_accuracy,
+    collective_classify,
+    neighbor_label_counts,
+)
+from repro.analysis.graphlets import (
+    gdd_distance,
+    graphlet_degree_distribution,
+    graphlet_profiles,
+    orbit_counts,
+)
+from repro.analysis.roles import census_feature_vectors, extract_roles, role_summary
+from repro.analysis.signatures import SignatureIndex, default_basis
+from repro.analysis.measures import (
+    clustering_coefficient,
+    clustering_coefficient_via_census,
+    degree_via_census,
+    effective_size,
+    effective_size_via_census,
+    efficiency,
+    jaccard_coefficient,
+    jaccard_via_census,
+    k_clustering_coefficient,
+)
+
+__all__ = [
+    "degree_via_census",
+    "effective_size",
+    "effective_size_via_census",
+    "efficiency",
+    "clustering_coefficient",
+    "clustering_coefficient_via_census",
+    "k_clustering_coefficient",
+    "jaccard_coefficient",
+    "jaccard_via_census",
+    "LinkPredictionExperiment",
+    "structure_scores",
+    "jaccard_scores",
+    "random_scores",
+    "precision_at_k",
+    "BROKERAGE_ROLES",
+    "brokerage_pattern",
+    "brokerage_scores",
+    "balance_instability",
+    "signed_triangle_pattern",
+    "unstable_triangle_census",
+    "SignatureIndex",
+    "default_basis",
+    "graphlet_profiles",
+    "graphlet_degree_distribution",
+    "orbit_counts",
+    "gdd_distance",
+    "neighbor_label_counts",
+    "collective_classify",
+    "classification_accuracy",
+    "extract_roles",
+    "role_summary",
+    "census_feature_vectors",
+]

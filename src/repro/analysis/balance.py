@@ -1,0 +1,58 @@
+"""Structural balance census over signed networks (Section I).
+
+In a signed network (edges carry ``sign`` in {+1, -1}), triangles with
+an odd number of negative edges are *unstable*.  The instability of a
+node's ego network is the number of unstable triangles in its k-hop
+neighborhood — a census query whose pattern fixes the sign multiset of
+a triangle with ``EDGE(...)`` predicates.
+"""
+
+from repro.census import census
+from repro.matching.pattern import Pattern
+from repro.matching.predicates import Comparison, Const, EdgeAttr
+
+
+def signed_triangle_pattern(num_negative, sign_key="sign"):
+    """A triangle pattern with exactly ``num_negative`` negative edges.
+
+    Because a census counts distinct match *subgraphs*, a triangle whose
+    sign multiset matches is counted exactly once regardless of which
+    pattern edge carries which sign.
+    """
+    if num_negative not in (0, 1, 2, 3):
+        raise ValueError("a triangle has 0..3 negative edges")
+    p = Pattern(f"tri_{num_negative}neg")
+    edges = [("A", "B"), ("B", "C"), ("A", "C")]
+    for u, v in edges:
+        p.add_edge(u, v)
+    for i, (u, v) in enumerate(edges):
+        sign = -1 if i < num_negative else 1
+        p.add_predicate(Comparison(EdgeAttr(u, v, sign_key), "=", Const(sign)))
+    return p
+
+
+def unstable_triangle_census(graph, k, nodes=None, sign_key="sign", algorithm="nd-pvot"):
+    """Per-node count of unstable triangles (1 or 3 negative edges)."""
+    one = census(graph, signed_triangle_pattern(1, sign_key), k,
+                 focal_nodes=nodes, algorithm=algorithm)
+    three = census(graph, signed_triangle_pattern(3, sign_key), k,
+                   focal_nodes=nodes, algorithm=algorithm)
+    return {n: one[n] + three[n] for n in one}
+
+
+def balance_instability(graph, k, nodes=None, sign_key="sign", algorithm="nd-pvot"):
+    """Fraction of unstable triangles per ego network (0.0 when the ego
+    network has no triangles)."""
+    unstable = unstable_triangle_census(graph, k, nodes=nodes, sign_key=sign_key,
+                                        algorithm=algorithm)
+    balanced = {}
+    for count in (0, 2):
+        part = census(graph, signed_triangle_pattern(count, sign_key), k,
+                      focal_nodes=nodes, algorithm=algorithm)
+        for n, c in part.items():
+            balanced[n] = balanced.get(n, 0) + c
+    out = {}
+    for n, bad in unstable.items():
+        total = bad + balanced.get(n, 0)
+        out[n] = bad / total if total else 0.0
+    return out

@@ -1,0 +1,68 @@
+"""Brokerage role census (Figure 1(c), Gould & Fernandez roles).
+
+In a directed transaction network where every node belongs to an
+organization, the middle node B of a path A -> B -> C (with no direct
+A -> C edge) plays one of five roles depending on which of A, B, C
+share an organization:
+
+- coordinator:     A, B, C all in the same organization
+- gatekeeper:      A outside, B and C together
+- representative:  A and B together, C outside
+- consultant:      A and C together, B outside
+- liaison:         all three in different organizations
+
+Each role is one census pattern with org-equality predicates and a
+``{B}`` subpattern counted in the 0-hop neighborhood — exactly the
+construction of Table I row 4.
+"""
+
+from repro.census import census
+from repro.matching.pattern import Pattern
+from repro.matching.predicates import Attr, Comparison
+
+#: role name -> (A==B?, B==C?, A==C?) organization equalities.
+BROKERAGE_ROLES = {
+    "coordinator": (True, True, True),
+    "gatekeeper": (False, True, False),
+    "representative": (True, False, False),
+    "consultant": (False, False, True),
+    "liaison": (False, False, False),
+}
+
+
+def brokerage_pattern(role, org_key="org"):
+    """The directed-triad pattern for one brokerage role."""
+    try:
+        ab, bc, ac = BROKERAGE_ROLES[role]
+    except KeyError:
+        raise ValueError(
+            f"unknown brokerage role {role!r}; roles: {sorted(BROKERAGE_ROLES)}"
+        ) from None
+    p = Pattern(f"brokerage_{role}")
+    p.add_edge("A", "B", directed=True)
+    p.add_edge("B", "C", directed=True)
+    p.add_edge("A", "C", directed=True, negated=True)
+    for pair, equal in (("AB", ab), ("BC", bc), ("AC", ac)):
+        lhs = Attr(pair[0], org_key)
+        rhs = Attr(pair[1], org_key)
+        p.add_predicate(Comparison(lhs, "=" if equal else "!=", rhs))
+    p.add_subpattern("broker", ["B"])
+    return p
+
+
+def brokerage_scores(graph, role, nodes=None, org_key="org", algorithm="nd-pvot"):
+    """Per-node brokerage score: the number of triads of the given role
+    in which the node is the middle (broker) node."""
+    pattern = brokerage_pattern(role, org_key=org_key)
+    return census(
+        graph, pattern, 0, focal_nodes=nodes, subpattern="broker", algorithm=algorithm
+    )
+
+
+def brokerage_profile(graph, node, org_key="org", algorithm="nd-pvot"):
+    """All five role scores for one node."""
+    return {
+        role: brokerage_scores(graph, role, nodes=[node], org_key=org_key,
+                               algorithm=algorithm)[node]
+        for role in BROKERAGE_ROLES
+    }

@@ -1,0 +1,141 @@
+"""Classic ego-centric measures as pattern census special cases.
+
+Section II notes that node degree, (k-)clustering coefficient, and the
+Jaccard coefficient are all census queries with trivial patterns.  Each
+measure here comes in two forms: the census formulation and a direct
+combinatorial computation — tests assert they coincide.
+"""
+
+from repro.census import census, pairwise_census
+from repro.graph.traversal import k_hop_nodes
+from repro.matching.pattern import Pattern
+
+
+def _single_node():
+    p = Pattern("single_node")
+    p.add_node("A")
+    return p
+
+
+def _single_edge():
+    p = Pattern("single_edge")
+    p.add_edge("A", "B")
+    return p
+
+
+def degree_via_census(graph, nodes=None, algorithm="nd-pvot"):
+    """Node degree as ``COUNTP(single_node, SUBGRAPH(ID, 1)) - 1``.
+
+    The 1-hop neighborhood contains the ego itself, hence the -1.
+    """
+    counts = census(graph, _single_node(), 1, focal_nodes=nodes, algorithm=algorithm)
+    return {n: c - 1 for n, c in counts.items()}
+
+
+def clustering_coefficient(graph, node):
+    """Direct local clustering coefficient of ``node``."""
+    nbrs = list(graph.neighbors(node))
+    d = len(nbrs)
+    if d < 2:
+        return 0.0
+    links = 0
+    nbr_set = set(nbrs)
+    for i, u in enumerate(nbrs):
+        links += sum(1 for w in graph.neighbors(u) if w in nbr_set and repr(w) > repr(u))
+    return 2.0 * links / (d * (d - 1))
+
+
+def clustering_coefficient_via_census(graph, nodes=None, algorithm="nd-pvot"):
+    """Clustering coefficient via an edge census in the 1-neighborhood.
+
+    ``COUNTP(single_edge, SUBGRAPH(ID, 1))`` counts all edges of the ego
+    net; subtracting the ego's degree leaves the edges among neighbors.
+    """
+    edge_counts = census(graph, _single_edge(), 1, focal_nodes=nodes, algorithm=algorithm)
+    out = {}
+    for n, total_edges in edge_counts.items():
+        d = graph.degree(n)
+        if d < 2:
+            out[n] = 0.0
+            continue
+        among_neighbors = total_edges - d
+        out[n] = 2.0 * among_neighbors / (d * (d - 1))
+    return out
+
+
+def k_clustering_coefficient(graph, node, k):
+    """The k-clustering coefficient of Jiang & Claramunt: the density of
+    the subgraph induced on ``N_k(node) - {node}``."""
+    members = k_hop_nodes(graph, node, k) - {node}
+    d = len(members)
+    if d < 2:
+        return 0.0
+    links = 0
+    for u in members:
+        links += sum(1 for w in graph.neighbors(u) if w in members and repr(w) > repr(u))
+    return 2.0 * links / (d * (d - 1))
+
+
+def effective_size(graph, node):
+    """Burt's effective size of an ego network (unweighted form).
+
+    ``n - 2t/n`` with ``n`` the number of alters and ``t`` the number of
+    ties among them — large when the ego bridges otherwise-disconnected
+    alters (a *structural hole*, Section VI's ego-centric motivation).
+    """
+    n = graph.degree(node)
+    if n == 0:
+        return 0.0
+    nbrs = set(graph.neighbors(node))
+    ties = 0
+    for u in nbrs:
+        ties += sum(1 for w in graph.neighbors(u) if w in nbrs and repr(w) > repr(u))
+    return n - 2.0 * ties / n
+
+
+def effective_size_via_census(graph, nodes=None, algorithm="nd-pvot"):
+    """Effective size from the same edge census as the clustering
+    coefficient: ties among alters = edges in the 1-hop net - degree."""
+    edge_counts = census(graph, _single_edge(), 1, focal_nodes=nodes, algorithm=algorithm)
+    out = {}
+    for node, total_edges in edge_counts.items():
+        n = graph.degree(node)
+        if n == 0:
+            out[node] = 0.0
+            continue
+        ties = total_edges - n
+        out[node] = n - 2.0 * ties / n
+    return out
+
+
+def efficiency(graph, node):
+    """Effective size normalized by network size (0 < e <= 1)."""
+    n = graph.degree(node)
+    if n == 0:
+        return 0.0
+    return effective_size(graph, node) / n
+
+
+def jaccard_coefficient(graph, n1, n2, radius=1):
+    """Direct Jaccard over closed k-hop neighborhoods (ego included),
+    matching the paper's census formulation."""
+    h1 = k_hop_nodes(graph, n1, radius)
+    h2 = k_hop_nodes(graph, n2, radius)
+    union = len(h1 | h2)
+    if union == 0:
+        return 0.0
+    return len(h1 & h2) / union
+
+
+def jaccard_via_census(graph, pairs, radius=1, algorithm="nd"):
+    """Jaccard via node-pattern counts in intersection and union
+    neighborhoods — the paper's formulation."""
+    node = _single_node()
+    inter = pairwise_census(graph, node, radius, pairs=pairs, mode="intersection",
+                            algorithm=algorithm)
+    union = pairwise_census(graph, node, radius, pairs=pairs, mode="union",
+                            algorithm=algorithm)
+    return {
+        pair: (inter[pair] / union[pair]) if union[pair] else 0.0
+        for pair in inter
+    }

@@ -1,0 +1,6 @@
+"""Benchmark harness: timing sweeps and figure-style reporting."""
+
+from repro.bench.harness import Measurement, Sweep, time_call
+from repro.bench.reporting import render_series, speedup_table
+
+__all__ = ["time_call", "Measurement", "Sweep", "render_series", "speedup_table"]

@@ -1,0 +1,81 @@
+"""Timing harness for the figure-reproduction benchmarks.
+
+Every benchmark in ``benchmarks/`` produces a :class:`Sweep`: one named
+series per algorithm, one measurement per x-axis point — the same
+rows/series as the paper's figures.  ``pytest-benchmark`` handles
+statistical timing of representative single points; the sweeps print
+the full curve shape.
+"""
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+def time_call(fn, *args, **kwargs):
+    """Run ``fn`` once; return ``(seconds, result)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - start, result
+
+
+@dataclass
+class Measurement:
+    """One timed point of a sweep."""
+
+    series: str
+    x: object
+    seconds: float
+    meta: dict = field(default_factory=dict)
+
+
+class Sweep:
+    """A collection of measurements across series and x-axis points."""
+
+    def __init__(self, name, x_label="x"):
+        self.name = name
+        self.x_label = x_label
+        self.measurements: List[Measurement] = []
+
+    def run(self, series, x, fn, *args, **kwargs):
+        """Time one call and record it; returns the call's result."""
+        seconds, result = time_call(fn, *args, **kwargs)
+        self.measurements.append(Measurement(series, x, seconds))
+        return result
+
+    def record(self, series, x, seconds, **meta):
+        self.measurements.append(Measurement(series, x, seconds, meta))
+
+    def series_names(self):
+        seen = []
+        for m in self.measurements:
+            if m.series not in seen:
+                seen.append(m.series)
+        return seen
+
+    def xs(self):
+        seen = []
+        for m in self.measurements:
+            if m.x not in seen:
+                seen.append(m.x)
+        return seen
+
+    def value(self, series, x):
+        for m in self.measurements:
+            if m.series == series and m.x == x:
+                return m.seconds
+        return None
+
+    def as_table(self) -> Dict[str, Dict[object, float]]:
+        out: Dict[str, Dict[object, float]] = {}
+        for m in self.measurements:
+            out.setdefault(m.series, {})[m.x] = m.seconds
+        return out
+
+    def speedup(self, baseline, series, x):
+        """baseline_time / series_time at one x (None when missing)."""
+        base = self.value(baseline, x)
+        other = self.value(series, x)
+        if base is None or other is None or other == 0:
+            return None
+        return base / other

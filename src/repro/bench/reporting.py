@@ -1,0 +1,38 @@
+"""Text rendering of benchmark sweeps in the shape of the paper's figures."""
+
+
+def render_series(sweep, unit="s", fmt="{:.3f}"):
+    """Render a sweep as a fixed-width table: one row per series, one
+    column per x value — the textual analogue of one figure panel."""
+    xs = sweep.xs()
+    table = sweep.as_table()
+    header = [f"{sweep.name} [{unit}]"] + [str(x) for x in xs]
+    rows = [header]
+    for series, points in table.items():
+        row = [series]
+        for x in xs:
+            v = points.get(x)
+            row.append("-" if v is None else fmt.format(v))
+        rows.append(row)
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def speedup_table(sweep, baseline):
+    """Per-x speedups of every series over ``baseline``."""
+    xs = sweep.xs()
+    lines = [f"speedup over {baseline}:"]
+    for series in sweep.series_names():
+        if series == baseline:
+            continue
+        cells = []
+        for x in xs:
+            s = sweep.speedup(baseline, series, x)
+            cells.append("-" if s is None else f"{s:.1f}x")
+        lines.append(f"  {series}: " + "  ".join(cells))
+    return "\n".join(lines)

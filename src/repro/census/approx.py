@@ -1,0 +1,79 @@
+"""Approximate census evaluation (the paper's future work, Section VII).
+
+For graphs where even one pass over all matches is too expensive, the
+census can be *estimated* by match sampling: draw ``s`` matches
+uniformly (without replacement) from the full match set ``M``, count
+how many of the sample fall inside each ego's neighborhood, and scale
+by ``|M| / s``.  The estimator is unbiased for every node; its standard
+error follows the hypergeometric distribution and shrinks as the sample
+grows, reaching zero at ``s = |M|`` (where the estimate is exact).
+
+The per-node standard error estimate uses the normal approximation
+``|M| * sqrt(p(1-p)/s * (1 - s/|M|))`` with ``p`` the sampled fraction.
+"""
+
+import math
+import random
+
+from repro.census.base import CensusRequest, prepare_matches
+from repro.graph.traversal import k_hop_distances
+
+
+def approximate_census(graph, pattern, k, sample_size, focal_nodes=None,
+                       subpattern=None, matcher="cn", seed=0,
+                       with_stderr=False):
+    """Sampling-based census estimate.
+
+    Returns ``{node: estimate}`` (floats), or ``{node: (estimate,
+    stderr)}`` when ``with_stderr`` is true.  With ``sample_size >=
+    |M|`` the estimate is exact (stderr 0).
+    """
+    request = CensusRequest(graph, pattern, k, focal_nodes, subpattern)
+    units = prepare_matches(request, matcher=matcher)
+    total = len(units)
+    focal = request.focal_nodes
+
+    if total == 0 or sample_size <= 0:
+        zero = (0.0, 0.0) if with_stderr else 0.0
+        return {n: zero for n in focal}
+
+    rng = random.Random(seed)
+    s = min(sample_size, total)
+    sample = rng.sample(units, s) if s < total else units
+    scale = total / s
+
+    hits = {n: 0 for n in focal}
+    focal_set = set(focal)
+    for unit in sample:
+        coverage = None
+        for m in unit.nodes:
+            reach = set(k_hop_distances(graph, m, k))
+            coverage = reach if coverage is None else coverage & reach
+            if not coverage:
+                break
+        if not coverage:
+            continue
+        for n in coverage & focal_set:
+            hits[n] += 1
+
+    if not with_stderr:
+        return {n: hits[n] * scale for n in focal}
+
+    fpc = max(0.0, 1.0 - s / total)  # finite population correction
+    out = {}
+    for n in focal:
+        p = hits[n] / s
+        stderr = total * math.sqrt(max(0.0, p * (1.0 - p)) / s * fpc)
+        out[n] = (hits[n] * scale, stderr)
+    return out
+
+
+def sample_size_for_error(total_matches, target_stderr, worst_p=0.5):
+    """Smallest sample size whose worst-case standard error is at or
+    below ``target_stderr`` (ignoring the finite population correction,
+    so the answer is conservative)."""
+    if total_matches <= 0 or target_stderr <= 0:
+        return max(0, total_matches)
+    variance = worst_p * (1.0 - worst_p)
+    s = math.ceil(variance * (total_matches / target_stderr) ** 2)
+    return min(total_matches, max(1, s))

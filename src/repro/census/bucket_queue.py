@@ -1,0 +1,120 @@
+"""Array-based (bucket) priority queue (Section IV-B.3).
+
+The best-first traversal's scores are bounded by ``(k + 1) * |V_M|``, so
+instead of a heap the paper stores nodes in an array of buckets indexed
+by score — O(1) insert and delete.  Decrease-key is handled lazily:
+entries are re-pushed at the better score and stale pops are skipped by
+comparing against the current score map.
+"""
+
+
+class BucketQueue:
+    """Monotone-ish integer priority queue over a small score range."""
+
+    def __init__(self, max_score):
+        self._buckets = [[] for _ in range(max_score + 1)]
+        self._score = {}
+        self._cursor = max_score + 1
+        self._size = 0
+
+    def push(self, item, score):
+        """Insert ``item`` or lower its priority to ``score``.
+
+        Pushing at a score no better than the current one is a no-op.
+        """
+        current = self._score.get(item)
+        if current is not None and current <= score:
+            return
+        self._score[item] = score
+        self._buckets[score].append(item)
+        self._size += 1
+        if score < self._cursor:
+            self._cursor = score
+
+    def pop(self):
+        """Remove and return ``(item, score)`` with the smallest score."""
+        while self._cursor < len(self._buckets):
+            bucket = self._buckets[self._cursor]
+            while bucket:
+                item = bucket.pop()
+                self._size -= 1
+                if self._score.get(item) == self._cursor:
+                    del self._score[item]
+                    return item, self._cursor
+                # Stale entry (item was re-pushed at a better score).
+            self._cursor += 1
+        raise IndexError("pop from empty BucketQueue")
+
+    def __bool__(self):
+        # Stale entries don't count: live size is tracked via _score.
+        return bool(self._score)
+
+    def __len__(self):
+        return len(self._score)
+
+
+class FIFOQueue:
+    """Queue facade with the BucketQueue interface, breadth-first order.
+
+    Used by the ordering ablation: PT with FIFO order is the paper's
+    plain simultaneous breadth-first traversal.
+    """
+
+    def __init__(self, _max_score=None):
+        from collections import deque
+
+        self._queue = deque()
+        self._scores = {}
+
+    def push(self, item, score):
+        current = self._scores.get(item)
+        if current is not None and current <= score:
+            return
+        self._scores[item] = score
+        self._queue.append(item)
+
+    def pop(self):
+        while self._queue:
+            item = self._queue.popleft()
+            if item in self._scores:
+                return item, self._scores.pop(item)
+        raise IndexError("pop from empty FIFOQueue")
+
+    def __bool__(self):
+        return bool(self._scores)
+
+    def __len__(self):
+        return len(self._scores)
+
+
+class RandomQueue:
+    """Pops a uniformly random live entry — the PT-RND ordering."""
+
+    def __init__(self, _max_score=None, rng=None):
+        import random
+
+        self._rng = rng or random.Random(0)
+        self._items = []
+        self._scores = {}
+
+    def push(self, item, score):
+        current = self._scores.get(item)
+        if current is not None and current <= score:
+            return
+        self._scores[item] = score
+        self._items.append(item)
+
+    def pop(self):
+        while self._items:
+            i = self._rng.randrange(len(self._items))
+            self._items[i], self._items[-1] = self._items[-1], self._items[i]
+            item = self._items.pop()
+            if item in self._scores:
+                return item, self._scores.pop(item)
+        raise IndexError("pop from empty RandomQueue")
+
+    def __bool__(self):
+        return bool(self._scores)
+
+    def __len__(self):
+        return len(self._scores)

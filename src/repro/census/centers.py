@@ -1,0 +1,87 @@
+"""Center selection and the center distance index (Section IV-B.4).
+
+Centers are a small set of nodes whose exact distances to every node are
+precomputed.  At query time they (a) seed the traversal queue with exact
+distances so they are never reinserted, (b) tighten initial distance
+upper bounds via the triangle inequality, and (c) provide the feature
+space for K-means match clustering.  The paper picks the highest-degree
+nodes (DEG-CNTR); RND-CNTR is the random baseline of Figure 4(f).
+"""
+
+import random
+
+from repro.graph.traversal import bfs_distances
+
+
+def select_centers(graph, count, strategy="degree", seed=0):
+    """Pick ``count`` center nodes by ``strategy`` ('degree' or 'random')."""
+    if count <= 0:
+        return []
+    nodes = list(graph.nodes())
+    if strategy == "degree":
+        nodes.sort(key=lambda n: (-graph.degree(n), repr(n)))
+        return nodes[:count]
+    if strategy == "random":
+        rng = random.Random(seed)
+        rng.shuffle(nodes)
+        return nodes[:count]
+    raise ValueError(f"unknown center strategy {strategy!r}")
+
+
+class CenterIndex:
+    """Precomputed exact distances from each center to every node."""
+
+    def __init__(self, graph, centers):
+        self.centers = list(centers)
+        self._dist = {c: bfs_distances(graph, c) for c in self.centers}
+
+    def distance(self, center, node):
+        """Exact hop distance or ``None`` when unreachable."""
+        return self._dist[center].get(node)
+
+    def bound(self, m, node, cap):
+        """Triangle-inequality upper bound ``min_c d(m,c) + d(c,node)``,
+        capped at ``cap`` (``cap`` returned when no center helps)."""
+        best = cap
+        for c in self.centers:
+            dm = self._dist[c].get(m)
+            if dm is None or dm >= best:
+                continue
+            dn = self._dist[c].get(node)
+            if dn is None:
+                continue
+            total = dm + dn
+            if total < best:
+                best = total
+        return best
+
+    def useful_for(self, node, cap):
+        """Centers that can possibly bound a distance from ``node`` at or
+        under ``cap``: pairs ``(center_distance_map, d(center, node))``
+        with ``d(center, node) <= cap``.  A center farther than ``cap``
+        from ``node`` can never produce a bound within ``cap`` because
+        ``d(node, x) <= d(node, c) + d(c, x)`` starts above it."""
+        out = []
+        for c in self.centers:
+            d = self._dist[c].get(node)
+            if d is not None and d <= cap:
+                out.append((self._dist[c], d))
+        return out
+
+    def feature_vector(self, nodes, missing):
+        """Distances from every center to each of ``nodes`` (flattened),
+        with unreachable entries replaced by ``missing``.  The K-means
+        feature map F(M) of Section IV-B.5."""
+        vec = []
+        for c in self.centers:
+            dist_c = self._dist[c]
+            for m in nodes:
+                d = dist_c.get(m)
+                vec.append(missing if d is None else d)
+        return vec
+
+    def __len__(self):
+        return len(self.centers)
+
+    def __bool__(self):
+        return bool(self.centers)

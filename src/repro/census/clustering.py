@@ -1,0 +1,133 @@
+"""K-means clustering of pattern matches (Section IV-B.5).
+
+Each match is embedded as its vector of center distances
+``F(M) = <d(c_1, m_1), ..., d(c_|C|, m_|V_P|)>``; K-means over these
+vectors groups matches that sit in the same graph region so PT-OPT can
+expand around a whole group in one simultaneous traversal.  A tiny
+seeded Lloyd's-iterations implementation is included (no external
+dependency); ``strategy='random'`` gives the RND-CLUST baseline of
+Figure 4(g) and ``strategy='none'`` disables grouping (NO-CLUST).
+"""
+
+import random
+
+
+def kmeans(vectors, num_clusters, iterations=10, seed=0):
+    """Cluster ``vectors`` into at most ``num_clusters`` groups.
+
+    Returns a list of clusters, each a list of vector indices.  Empty
+    clusters are dropped.  Deterministic given ``seed``.
+    """
+    n = len(vectors)
+    if n == 0:
+        return []
+    num_clusters = max(1, min(num_clusters, n))
+    rng = random.Random(seed)
+    centroids = _farthest_point_init(vectors, num_clusters, rng)
+    assignment = [0] * n
+
+    for _ in range(max(1, iterations)):
+        changed = False
+        for i, vec in enumerate(vectors):
+            best_c, best_d = 0, None
+            for c, centroid in enumerate(centroids):
+                d = _sqdist(vec, centroid)
+                if best_d is None or d < best_d:
+                    best_c, best_d = c, d
+            if assignment[i] != best_c:
+                assignment[i] = best_c
+                changed = True
+        # Recompute centroids; keep the old centroid for empty clusters.
+        sums = [None] * len(centroids)
+        counts = [0] * len(centroids)
+        for i, vec in enumerate(vectors):
+            c = assignment[i]
+            if sums[c] is None:
+                sums[c] = list(vec)
+            else:
+                s = sums[c]
+                for j, x in enumerate(vec):
+                    s[j] += x
+            counts[c] += 1
+        for c, s in enumerate(sums):
+            if s is not None:
+                centroids[c] = [x / counts[c] for x in s]
+        if not changed:
+            break
+
+    clusters = {}
+    for i, c in enumerate(assignment):
+        clusters.setdefault(c, []).append(i)
+    return list(clusters.values())
+
+
+def _sqdist(a, b):
+    return sum((x - y) ** 2 for x, y in zip(a, b))
+
+
+def _farthest_point_init(vectors, num_clusters, rng):
+    """Greedy k-center initialization (a deterministic kmeans++ cousin).
+
+    Random initialization collapses when many vectors are identical
+    (duplicate seeds leave clusters empty); picking each next centroid
+    as the point farthest from the chosen ones guarantees distinct
+    centroids whenever distinct vectors exist.
+    """
+    first = rng.randrange(len(vectors))
+    centroids = [list(vectors[first])]
+    min_dist = [_sqdist(v, centroids[0]) for v in vectors]
+    while len(centroids) < num_clusters:
+        best = max(range(len(vectors)), key=lambda i: min_dist[i])
+        if min_dist[best] == 0.0:
+            break  # fewer distinct vectors than requested clusters
+        centroids.append(list(vectors[best]))
+        for i, v in enumerate(vectors):
+            d = _sqdist(v, centroids[-1])
+            if d < min_dist[i]:
+                min_dist[i] = d
+    return centroids
+
+
+def cluster_matches(units, center_index, num_clusters, strategy="kmeans",
+                    iterations=10, seed=0, missing_distance=None):
+    """Group census matches for simultaneous processing.
+
+    Parameters
+    ----------
+    units:
+        List of :class:`repro.census.base.CensusMatch`.
+    center_index:
+        A :class:`repro.census.centers.CenterIndex`; required for the
+        'kmeans' strategy (its distances define the feature space).
+    strategy:
+        'kmeans' (OPT-CLUST), 'random' (RND-CLUST) or 'none' (NO-CLUST).
+
+    Returns a list of clusters, each a list of unit indices.
+    """
+    n = len(units)
+    if n == 0:
+        return []
+    if strategy == "none" or num_clusters >= n:
+        return [[i] for i in range(n)]
+    if strategy == "random":
+        rng = random.Random(seed)
+        order = list(range(n))
+        rng.shuffle(order)
+        num_clusters = max(1, num_clusters)
+        clusters = [[] for _ in range(num_clusters)]
+        for pos, i in enumerate(order):
+            clusters[pos % num_clusters].append(i)
+        return [c for c in clusters if c]
+    if strategy == "kmeans":
+        if not center_index:
+            # Without centers there is no feature space; fall back to
+            # processing matches independently.
+            return [[i] for i in range(n)]
+        if missing_distance is None:
+            missing_distance = 2 * max(len(u.nodes) for u in units) + 16
+        vectors = [
+            center_index.feature_vector(sorted(u.nodes, key=repr), missing_distance)
+            for u in units
+        ]
+        return kmeans(vectors, num_clusters, iterations=iterations, seed=seed)
+    raise ValueError(f"unknown clustering strategy {strategy!r}")

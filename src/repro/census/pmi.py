@@ -1,0 +1,53 @@
+"""Pattern match indexes (Section IV-A).
+
+``PatternMatchIndex`` supports the two indexing modes the paper uses:
+
+- *pivot mode* (ND-PVOT): each census match is indexed under the image
+  of a designated pivot variable, so a BFS from a focal node can pull
+  exactly the matches anchored at each visited node.
+- *all-nodes mode* (ND-DIFF): each census match is indexed under every
+  node of its containment set, so differential updates can find the
+  matches touching a symmetric-difference region.
+"""
+
+from collections import defaultdict
+
+
+class PatternMatchIndex:
+    """Index from database nodes to the census matches anchored at them."""
+
+    def __init__(self, units, pivot_var=None):
+        """``units`` — list of :class:`repro.census.base.CensusMatch`.
+
+        With ``pivot_var`` set, each unit is indexed once, under
+        ``unit.match.image(pivot_var)``.  Without it, each unit is
+        indexed under every node in ``unit.nodes``.
+        """
+        self.pivot_var = pivot_var
+        self._buckets = defaultdict(list)
+        self.num_units = len(units)
+        if pivot_var is not None:
+            for unit in units:
+                self._buckets[unit.match.image(pivot_var)].append(unit)
+        else:
+            for unit in units:
+                for node in unit.nodes:
+                    self._buckets[node].append(unit)
+
+    def matches_at(self, node):
+        """Census matches anchored at ``node`` (empty list if none)."""
+        return self._buckets.get(node, _EMPTY)
+
+    def anchored_nodes(self):
+        """Nodes with at least one anchored match."""
+        return self._buckets.keys()
+
+    def __len__(self):
+        return self.num_units
+
+    def __repr__(self):
+        mode = f"pivot=?{self.pivot_var}" if self.pivot_var else "all-nodes"
+        return f"<PatternMatchIndex {mode} units={self.num_units} anchors={len(self._buckets)}>"
+
+
+_EMPTY = ()

@@ -1,0 +1,179 @@
+"""Command-line interface.
+
+Subcommands:
+
+- ``generate`` — write a synthetic benchmark graph to a JSON file,
+- ``stats`` — print a one-screen summary of a graph file,
+- ``query`` — run a pattern census script against a graph file,
+- ``bulkload`` — convert a JSON graph into a disk-resident store,
+- ``topk`` — print the K egos with the most matches of a pattern.
+
+Examples::
+
+    python -m repro generate --model pa --nodes 2000 --labels 4 out.json
+    python -m repro query out.json -e "SELECT ID, COUNTP(clq3, SUBGRAPH(ID, 2)) FROM nodes LIMIT 5"
+    python -m repro topk out.json --pattern clq3 --radius 2 -k 10
+"""
+
+import argparse
+import sys
+
+from repro.graph.generators import (
+    erdos_renyi,
+    labeled_preferential_attachment,
+    preferential_attachment,
+    watts_strogatz,
+)
+from repro.graph.io import load_json, save_json
+
+
+def _load_graph(path):
+    if str(path).endswith(".db"):
+        from repro.storage import DiskGraph
+
+        return DiskGraph.open(path)
+    return load_json(path)
+
+
+def _cmd_generate(args, out):
+    if args.model == "pa":
+        if args.labels > 0:
+            graph = labeled_preferential_attachment(
+                args.nodes, m=args.m, num_labels=args.labels, seed=args.seed
+            )
+        else:
+            graph = preferential_attachment(args.nodes, m=args.m, seed=args.seed)
+    elif args.model == "er":
+        graph = erdos_renyi(args.nodes, args.m * args.nodes, seed=args.seed)
+    elif args.model == "ws":
+        graph = watts_strogatz(args.nodes, k=2 * args.m, seed=args.seed)
+    else:
+        raise SystemExit(f"unknown model {args.model!r}")
+    save_json(graph, args.output)
+    print(f"wrote {graph.num_nodes} nodes / {graph.num_edges} edges to {args.output}",
+          file=out)
+    return 0
+
+
+def _cmd_stats(args, out):
+    from repro.query.statistics import GraphStatistics
+
+    graph = _load_graph(args.graph)
+    for key, value in GraphStatistics(graph).summary().items():
+        print(f"{key}: {value}", file=out)
+    return 0
+
+
+def _cmd_query(args, out):
+    from repro.query.engine import QueryEngine
+
+    graph = _load_graph(args.graph)
+    engine = QueryEngine(graph, seed=args.seed, algorithm=args.algorithm)
+    if args.execute:
+        script = args.execute
+    else:
+        with open(args.script) as f:
+            script = f.read()
+    for table in engine.execute_script(script):
+        print(table.render(max_rows=args.max_rows), file=out)
+        print(file=out)
+    return 0
+
+
+def _cmd_bulkload(args, out):
+    from repro.storage import DiskGraph
+
+    graph = load_json(args.graph)
+    store = DiskGraph.create(args.output, graph)
+    store.close()
+    print(f"bulk-loaded {graph.num_nodes} nodes / {graph.num_edges} edges "
+          f"into {args.output}", file=out)
+    return 0
+
+
+def _cmd_explain(args, out):
+    from repro.query.engine import QueryEngine
+
+    graph = _load_graph(args.graph)
+    engine = QueryEngine(graph, algorithm=args.algorithm)
+    print(engine.explain(args.query), file=out)
+    return 0
+
+
+def _cmd_topk(args, out):
+    from repro.census.topk import census_topk
+    from repro.lang.catalog import standard_catalog
+
+    graph = _load_graph(args.graph)
+    pattern = standard_catalog().get(args.pattern)
+    stats = {}
+    top = census_topk(graph, pattern, args.radius, args.k, collect_stats=stats)
+    print(f"top {args.k} egos for {args.pattern} within {args.radius} hops "
+          f"({stats['exact_evaluations']} exact evaluations):", file=out)
+    for node, count in top:
+        print(f"  {node}: {count}", file=out)
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Ego-centric graph pattern census toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic graph")
+    gen.add_argument("output")
+    gen.add_argument("--model", choices=("pa", "er", "ws"), default="pa")
+    gen.add_argument("--nodes", type=int, default=1000)
+    gen.add_argument("--m", type=int, default=5)
+    gen.add_argument("--labels", type=int, default=4,
+                     help="0 for an unlabeled graph")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.set_defaults(func=_cmd_generate)
+
+    stats = sub.add_parser("stats", help="summarize a graph file")
+    stats.add_argument("graph")
+    stats.set_defaults(func=_cmd_stats)
+
+    query = sub.add_parser("query", help="run a census script")
+    query.add_argument("graph")
+    query.add_argument("script", nargs="?",
+                       help="script file (or use -e)")
+    query.add_argument("-e", "--execute", help="inline statement(s)")
+    query.add_argument("--algorithm", default="auto")
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument("--max-rows", type=int, default=20)
+    query.set_defaults(func=_cmd_query)
+
+    bulk = sub.add_parser("bulkload", help="convert JSON graph to a disk store")
+    bulk.add_argument("graph")
+    bulk.add_argument("output")
+    bulk.set_defaults(func=_cmd_bulkload)
+
+    explain = sub.add_parser("explain", help="show the plan for a SELECT")
+    explain.add_argument("graph")
+    explain.add_argument("query")
+    explain.add_argument("--algorithm", default="auto")
+    explain.set_defaults(func=_cmd_explain)
+
+    topk = sub.add_parser("topk", help="highest-count egos for a catalog pattern")
+    topk.add_argument("graph")
+    topk.add_argument("--pattern", default="clq3-unlb")
+    topk.add_argument("--radius", type=int, default=2)
+    topk.add_argument("-k", type=int, default=10)
+    topk.set_defaults(func=_cmd_topk)
+
+    return parser
+
+
+def main(argv=None, out=None):
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "query" and not args.execute and not args.script:
+        parser.error("query needs a script file or -e STATEMENT")
+    return args.func(args, out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

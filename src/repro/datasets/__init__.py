@@ -1,0 +1,16 @@
+"""Dataset builders: the synthetic DBLP stand-in and benchmark workloads."""
+
+from repro.datasets.dblp import CollaborationData, synthetic_dblp
+from repro.datasets.workloads import (
+    census_workload,
+    matching_workload,
+    pa_graph,
+)
+
+__all__ = [
+    "synthetic_dblp",
+    "CollaborationData",
+    "pa_graph",
+    "matching_workload",
+    "census_workload",
+]

@@ -1,0 +1,46 @@
+"""Benchmark workload builders.
+
+The paper's synthetic evaluation uses preferential-attachment graphs
+with edges = 5 x nodes and 4 uniform random labels.  These helpers
+build those graphs (memoized per process — the figure benchmarks sweep
+the same sizes repeatedly) and bundle graph + pattern pairs per figure.
+"""
+
+from functools import lru_cache
+
+from repro.graph.generators import (
+    labeled_preferential_attachment,
+    preferential_attachment,
+)
+from repro.lang.catalog import standard_catalog
+
+#: Scaled-down graph-size sweeps (the paper's 20K–1M node range is not
+#: reachable for pure-Python enumeration; EXPERIMENTS.md records the
+#: scale factors).
+UNLABELED_SIZES = (400, 800, 1600, 3200)
+LABELED_SIZES = (1000, 2000, 4000, 8000)
+
+
+@lru_cache(maxsize=32)
+def pa_graph(num_nodes, m=5, labeled=False, num_labels=4, seed=7):
+    """A (possibly labeled) preferential-attachment benchmark graph."""
+    if labeled:
+        return labeled_preferential_attachment(
+            num_nodes, m=m, num_labels=num_labels, seed=seed
+        )
+    return preferential_attachment(num_nodes, m=m, seed=seed)
+
+
+def matching_workload(num_nodes, pattern_name, m=5, seed=7):
+    """Graph + pattern for the F4a/F4b matcher comparisons."""
+    catalog = standard_catalog()
+    pattern = catalog.get(pattern_name)
+    labeled = not pattern_name.endswith("-unlb")
+    graph = pa_graph(num_nodes, m=m, labeled=labeled, seed=seed)
+    return graph, pattern
+
+
+def census_workload(num_nodes, pattern_name, k=2, m=5, seed=7):
+    """Graph + pattern + radius for the F4c–F4g census benchmarks."""
+    graph, pattern = matching_workload(num_nodes, pattern_name, m=m, seed=seed)
+    return graph, pattern, k

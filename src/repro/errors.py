@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class.  Subsystems raise the more specific
+subclasses below.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class GraphError(ReproError):
+    """Invalid graph operation (missing node, duplicate edge, ...)."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A referenced node does not exist in the graph."""
+
+    def __init__(self, node):
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """A referenced edge does not exist in the graph."""
+
+    def __init__(self, u, v):
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.u = u
+        self.v = v
+
+
+class StorageError(ReproError):
+    """Disk storage engine failure (corrupt page, bad magic, ...)."""
+
+
+class PatternError(ReproError):
+    """Malformed pattern graph (unknown variable, empty pattern, ...)."""
+
+
+class ParseError(ReproError):
+    """Syntax error in the pattern census language.
+
+    Carries the 1-based line and column of the offending token when known.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class QueryError(ReproError):
+    """Semantic error while binding or executing a query."""
+
+
+class CensusError(ReproError):
+    """A census algorithm was invoked with unusable arguments."""

@@ -1,0 +1,205 @@
+"""Synthetic graph generators used by the paper's evaluation.
+
+The paper's synthetic experiments use preferential-attachment graphs with
+``edges = 5 x nodes`` and node labels drawn uniformly from 4 labels.
+:func:`preferential_attachment` reproduces that model (Barabási–Albert
+with ``m`` edges per arriving node); the other generators supply graphs
+for the motivating applications (signed networks for structural balance,
+organization-labeled networks for brokerage) and for property tests.
+
+All generators are deterministic given ``seed``.
+"""
+
+import random
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+#: The label alphabet the paper samples from (|L| = 4).
+DEFAULT_LABELS = ("A", "B", "C", "D")
+
+
+def preferential_attachment(num_nodes, m=5, seed=0, directed=False):
+    """Barabási–Albert graph with ``m`` edges per arriving node.
+
+    With ``m=5`` the edge count approaches ``5 x num_nodes``, matching the
+    paper's synthetic datasets.  Uses the standard repeated-nodes urn so
+    attachment probability is proportional to degree.
+    """
+    if num_nodes < 1:
+        raise GraphError("num_nodes must be >= 1")
+    if m < 1:
+        raise GraphError("m must be >= 1")
+    rng = random.Random(seed)
+    g = Graph(directed=directed)
+
+    seed_size = min(max(m, 1), num_nodes)
+    for node in range(seed_size):
+        g.add_node(node)
+    # Connect the seed nodes in a path so the urn starts non-empty.
+    urn = []
+    for node in range(1, seed_size):
+        g.add_edge(node - 1, node)
+        urn.extend((node - 1, node))
+    if seed_size == 1:
+        urn.append(0)
+
+    for node in range(seed_size, num_nodes):
+        targets = set()
+        want = min(m, node)
+        # Sample distinct targets proportionally to degree.
+        while len(targets) < want:
+            targets.add(rng.choice(urn))
+        g.add_node(node)
+        for t in targets:
+            g.add_edge(node, t)
+            urn.extend((node, t))
+    return g
+
+
+def erdos_renyi(num_nodes, num_edges, seed=0, directed=False):
+    """G(n, m) random graph with exactly ``num_edges`` distinct edges."""
+    max_edges = num_nodes * (num_nodes - 1)
+    if not directed:
+        max_edges //= 2
+    if num_edges > max_edges:
+        raise GraphError(f"cannot place {num_edges} edges in {num_nodes} nodes")
+    rng = random.Random(seed)
+    g = Graph(directed=directed)
+    for node in range(num_nodes):
+        g.add_node(node)
+    placed = 0
+    while placed < num_edges:
+        u = rng.randrange(num_nodes)
+        v = rng.randrange(num_nodes)
+        if u == v or g.has_edge(u, v):
+            continue
+        g.add_edge(u, v)
+        placed += 1
+    return g
+
+
+def watts_strogatz(num_nodes, k=4, beta=0.1, seed=0):
+    """Small-world ring lattice with rewiring probability ``beta``."""
+    if k % 2 or k >= num_nodes:
+        raise GraphError("k must be even and < num_nodes")
+    rng = random.Random(seed)
+    g = Graph()
+    for node in range(num_nodes):
+        g.add_node(node)
+    for node in range(num_nodes):
+        for j in range(1, k // 2 + 1):
+            target = (node + j) % num_nodes
+            if rng.random() < beta:
+                candidates = [
+                    w for w in range(num_nodes) if w != node and not g.has_edge(node, w)
+                ]
+                if candidates:
+                    target = rng.choice(candidates)
+            if not g.has_edge(node, target) and node != target:
+                g.add_edge(node, target)
+    return g
+
+
+def assign_random_labels(graph, labels=DEFAULT_LABELS, seed=0, key="label"):
+    """Label every node uniformly at random from ``labels`` (in place)."""
+    rng = random.Random(seed)
+    for node in graph.nodes():
+        graph.set_node_attr(node, key, rng.choice(labels))
+    return graph
+
+
+def labeled_preferential_attachment(num_nodes, m=5, num_labels=4, seed=0, directed=False):
+    """The paper's synthetic dataset: PA graph + uniform random labels."""
+    labels = DEFAULT_LABELS[:num_labels] if num_labels <= len(DEFAULT_LABELS) else tuple(
+        f"L{i}" for i in range(num_labels)
+    )
+    g = preferential_attachment(num_nodes, m=m, seed=seed, directed=directed)
+    return assign_random_labels(g, labels=labels, seed=seed + 1)
+
+
+def signed_network(num_nodes, m=3, negative_fraction=0.3, seed=0):
+    """PA graph whose edges carry a ``sign`` attribute (+1 or -1).
+
+    Used by the structural-balance application: triangles with an odd
+    number of negative edges are "unstable".
+    """
+    rng = random.Random(seed)
+    g = preferential_attachment(num_nodes, m=m, seed=seed)
+    for u, v in g.edges():
+        sign = -1 if rng.random() < negative_fraction else 1
+        g.edge_attrs(u, v)["sign"] = sign
+    return g
+
+
+def organizational_network(num_nodes, num_orgs=3, m=3, seed=0, directed=True):
+    """Directed PA graph with an ``org`` attribute per node.
+
+    Used by the brokerage application (Figure 1(c)): the role of the
+    middle node of a directed path A -> B -> C depends on the three
+    nodes' organizations.
+    """
+    rng = random.Random(seed)
+    g = preferential_attachment(num_nodes, m=m, seed=seed, directed=directed)
+    for node in g.nodes():
+        g.set_node_attr(node, "org", f"org{rng.randrange(num_orgs)}")
+    return g
+
+
+def stochastic_block_model(block_sizes, p_in, p_out, seed=0):
+    """Community-structured random graph.
+
+    Nodes are partitioned into blocks of the given sizes; each
+    within-block pair is an edge with probability ``p_in``, each
+    cross-block pair with probability ``p_out``.  Nodes carry a
+    ``block`` attribute.  Used by tests that need planted community
+    structure (ego networks inside a block are denser than across).
+    """
+    if not 0.0 <= p_out <= p_in <= 1.0:
+        raise GraphError("need 0 <= p_out <= p_in <= 1")
+    rng = random.Random(seed)
+    g = Graph()
+    block_of = {}
+    node = 0
+    for b, size in enumerate(block_sizes):
+        for _ in range(size):
+            g.add_node(node, block=b)
+            block_of[node] = b
+            node += 1
+    for u in range(node):
+        for v in range(u + 1, node):
+            p = p_in if block_of[u] == block_of[v] else p_out
+            if p > 0 and rng.random() < p:
+                g.add_edge(u, v)
+    return g
+
+
+def planted_pattern_graph(num_nodes, pattern_edges, copies, noise_edges, seed=0):
+    """A sparse noise graph with ``copies`` disjoint copies of a pattern.
+
+    ``pattern_edges`` is a list of ``(i, j)`` index pairs over the
+    pattern's nodes.  Every copy is placed on fresh node ids, then
+    ``noise_edges`` random extra edges are added.  Handy for tests that
+    need a known lower bound on match counts.
+    """
+    rng = random.Random(seed)
+    pattern_size = 1 + max(max(i, j) for i, j in pattern_edges)
+    needed = copies * pattern_size
+    if needed > num_nodes:
+        raise GraphError("not enough nodes for the requested copies")
+    g = Graph()
+    for node in range(num_nodes):
+        g.add_node(node)
+    for c in range(copies):
+        base = c * pattern_size
+        for i, j in pattern_edges:
+            g.add_edge(base + i, base + j)
+    placed = 0
+    while placed < noise_edges:
+        u = rng.randrange(needed, num_nodes) if num_nodes > needed else rng.randrange(num_nodes)
+        v = rng.randrange(num_nodes)
+        if u == v or g.has_edge(u, v):
+            continue
+        g.add_edge(u, v)
+        placed += 1
+    return g

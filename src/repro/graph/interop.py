@@ -1,0 +1,51 @@
+"""NetworkX interoperability.
+
+Downstream users usually already hold a ``networkx`` graph; these
+converters move attributed graphs in both directions.  NetworkX is an
+optional dependency — the module imports it lazily and raises a clear
+error when it is missing.
+"""
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+
+def _networkx():
+    try:
+        import networkx
+    except ImportError as exc:  # pragma: no cover - depends on environment
+        raise GraphError(
+            "networkx is not installed; install it to use repro.graph.interop"
+        ) from exc
+    return networkx
+
+
+def from_networkx(nx_graph):
+    """Convert a networkx (Di)Graph into a :class:`repro.graph.Graph`.
+
+    Node and edge attribute dicts are copied.  Multi-graphs are
+    rejected: the census data model has at most one edge per ordered
+    pair.  Self-loops are dropped (the paper's model is simple graphs).
+    """
+    nx = _networkx()
+    if isinstance(nx_graph, (nx.MultiGraph, nx.MultiDiGraph)):
+        raise GraphError("multigraphs are not supported; collapse parallel edges first")
+    g = Graph(directed=nx_graph.is_directed())
+    for node, attrs in nx_graph.nodes(data=True):
+        g.add_node(node, **attrs)
+    for u, v, attrs in nx_graph.edges(data=True):
+        if u == v:
+            continue
+        g.add_edge(u, v, **attrs)
+    return g
+
+
+def to_networkx(graph):
+    """Convert a :class:`repro.graph.Graph` (or DiskGraph) to networkx."""
+    nx = _networkx()
+    out = nx.DiGraph() if graph.directed else nx.Graph()
+    for node in graph.nodes():
+        out.add_node(node, **dict(graph.node_attrs(node)))
+    for u, v in graph.edges():
+        out.add_edge(u, v, **dict(graph.edge_attrs(u, v)))
+    return out

@@ -1,0 +1,100 @@
+"""Graph (de)serialization: JSON documents and edge-list text files."""
+
+import json
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+_FORMAT_VERSION = 1
+
+
+def to_dict(graph):
+    """Encode ``graph`` as a JSON-serializable dict."""
+    return {
+        "format": _FORMAT_VERSION,
+        "directed": graph.directed,
+        "nodes": [[_encode_id(n), graph.node_attrs(n)] for n in graph.nodes()],
+        "edges": [
+            [_encode_id(u), _encode_id(v), graph.edge_attrs(u, v)] for u, v in graph.edges()
+        ],
+    }
+
+
+def from_dict(doc):
+    """Decode a dict produced by :func:`to_dict`."""
+    if doc.get("format") != _FORMAT_VERSION:
+        raise GraphError(f"unsupported graph format: {doc.get('format')!r}")
+    g = Graph(directed=doc["directed"])
+    for node, attrs in doc["nodes"]:
+        g.add_node(_decode_id(node), **attrs)
+    for u, v, attrs in doc["edges"]:
+        g.add_edge(_decode_id(u), _decode_id(v), **attrs)
+    return g
+
+
+def save_json(graph, path):
+    with open(path, "w") as f:
+        json.dump(to_dict(graph), f)
+
+
+def load_json(path):
+    with open(path) as f:
+        return from_dict(json.load(f))
+
+
+def _encode_id(node):
+    # JSON keys round-trip ints and strings; tag anything else.
+    if isinstance(node, (int, str)):
+        return node
+    raise GraphError(f"only int/str node ids are serializable, got {type(node).__name__}")
+
+
+def _decode_id(raw):
+    return raw
+
+
+def save_edge_list(graph, path, label_key="label"):
+    """Write a whitespace edge list with an optional leading label block.
+
+    Format::
+
+        # nodes
+        <id> <label>
+        ...
+        # edges
+        <u> <v>
+    """
+    with open(path, "w") as f:
+        f.write("# nodes\n")
+        for n in graph.nodes():
+            label = graph.node_attr(n, label_key)
+            f.write(f"{n} {label if label is not None else '-'}\n")
+        f.write("# edges\n")
+        for u, v in graph.edges():
+            f.write(f"{u} {v}\n")
+
+
+def load_edge_list(path, directed=False, label_key="label"):
+    """Read a file written by :func:`save_edge_list` (int node ids)."""
+    g = Graph(directed=directed)
+    section = None
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                section = line[1:].strip().lower()
+                continue
+            parts = line.split()
+            if section == "nodes":
+                node = int(parts[0])
+                if len(parts) > 1 and parts[1] != "-":
+                    g.add_node(node, **{label_key: parts[1]})
+                else:
+                    g.add_node(node)
+            elif section == "edges":
+                g.add_edge(int(parts[0]), int(parts[1]))
+            else:
+                raise GraphError(f"line outside a section: {line!r}")
+    return g

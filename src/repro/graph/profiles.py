@@ -1,0 +1,72 @@
+"""Node profiles and the profile index (Section III-A of the paper).
+
+A node profile is the vector of neighbor counts per label.  A database
+node ``n`` is a candidate for a pattern node ``v`` iff the profile of
+``v`` is contained in the profile of ``n`` — for every label, ``n`` has
+at least as many neighbors with that label as ``v`` does.  The paper
+computes each database node profile once and stores it "along with the
+graph as an index"; :class:`NodeProfileIndex` plays that role.
+"""
+
+from collections import Counter, defaultdict
+
+from repro.graph.graph import LABEL_KEY
+
+
+def node_profile(graph, node):
+    """Return ``Counter(label -> #neighbors with that label)`` of ``node``."""
+    counts = Counter()
+    for nbr in graph.neighbors(node):
+        counts[graph.node_attr(nbr, LABEL_KEY)] += 1
+    return counts
+
+
+def profile_contains(big, small):
+    """True if profile ``small`` is contained in profile ``big``."""
+    for label, need in small.items():
+        if big.get(label, 0) < need:
+            return False
+    return True
+
+
+class NodeProfileIndex:
+    """Precomputed profiles + label buckets for a database graph.
+
+    - ``profile(n)`` returns the cached profile of node ``n``.
+    - ``nodes_with_label(l)`` returns the set of nodes labeled ``l`` —
+      the first filter when enumerating candidates for a labeled pattern
+      node.
+    """
+
+    def __init__(self, graph):
+        self._graph = graph
+        self._profiles = {}
+        self._by_label = defaultdict(set)
+        for n in graph.nodes():
+            self._profiles[n] = node_profile(graph, n)
+            self._by_label[graph.node_attr(n, LABEL_KEY)].add(n)
+
+    def profile(self, node):
+        return self._profiles[node]
+
+    def nodes_with_label(self, label):
+        """Nodes whose label equals ``label``.
+
+        ``label=None`` is the anonymous label: in an unlabeled graph all
+        nodes carry it, so the bucket is the whole node set.
+        """
+        return self._by_label.get(label, set())
+
+    def labels(self):
+        return set(self._by_label)
+
+    def candidates(self, label, pattern_profile):
+        """Nodes labeled ``label`` whose profile contains ``pattern_profile``."""
+        return [
+            n
+            for n in self._by_label.get(label, ())
+            if profile_contains(self._profiles[n], pattern_profile)
+        ]
+
+    def __len__(self):
+        return len(self._profiles)

@@ -1,0 +1,111 @@
+"""Breadth-first traversal primitives.
+
+Everything the census algorithms need reduces to bounded BFS: k-hop
+neighbor sets ``N_k(n)``, distance maps, and induced ego subgraphs
+``S(n, k)``.  Neighborhood expansion is direction-blind even on directed
+graphs, matching the paper's definition of a k-hop neighborhood ("nodes
+reachable from n in k hops or less" through any incident edge).
+"""
+
+from collections import deque
+
+from repro.graph.views import induced_subgraph
+
+
+def bfs_distances(graph, source, max_depth=None):
+    """Map each node within ``max_depth`` hops of ``source`` to its distance.
+
+    ``max_depth=None`` explores the whole connected component.  The source
+    is included with distance 0.
+    """
+    dist = {source: 0}
+    queue = deque((source,))
+    while queue:
+        node = queue.popleft()
+        d = dist[node]
+        if max_depth is not None and d >= max_depth:
+            continue
+        for nbr in graph.neighbors(node):
+            if nbr not in dist:
+                dist[nbr] = d + 1
+                queue.append(nbr)
+    return dist
+
+
+def bfs_layers(graph, source, max_depth=None):
+    """Yield ``(node, distance)`` pairs in BFS order from ``source``."""
+    dist = {source: 0}
+    queue = deque((source,))
+    while queue:
+        node = queue.popleft()
+        d = dist[node]
+        yield node, d
+        if max_depth is not None and d >= max_depth:
+            continue
+        for nbr in graph.neighbors(node):
+            if nbr not in dist:
+                dist[nbr] = d + 1
+                queue.append(nbr)
+
+
+def k_hop_nodes(graph, source, k):
+    """The node set ``N_k(source)``: nodes within ``k`` hops, inclusive."""
+    return set(bfs_distances(graph, source, max_depth=k))
+
+
+def k_hop_distances(graph, source, k):
+    """Alias of :func:`bfs_distances` with a required radius."""
+    return bfs_distances(graph, source, max_depth=k)
+
+
+def ego_subgraph(graph, source, k):
+    """The induced subgraph ``S(source, k)`` on the k-hop neighborhood."""
+    return induced_subgraph(graph, k_hop_nodes(graph, source, k))
+
+
+def shortest_path_length(graph, source, target, max_depth=None):
+    """Hop distance from ``source`` to ``target`` or ``None`` if farther
+    than ``max_depth`` (or disconnected)."""
+    if source == target:
+        return 0
+    dist = {source: 0}
+    queue = deque((source,))
+    while queue:
+        node = queue.popleft()
+        d = dist[node]
+        if max_depth is not None and d >= max_depth:
+            continue
+        for nbr in graph.neighbors(node):
+            if nbr == target:
+                return d + 1
+            if nbr not in dist:
+                dist[nbr] = d + 1
+                queue.append(nbr)
+    return None
+
+
+def pairwise_distances(graph, nodes=None, max_depth=None):
+    """All-pairs hop distances restricted to ``nodes`` (default: all).
+
+    Returns ``{u: {v: d}}`` with unreachable pairs absent.  Intended for
+    small graphs (pattern graphs, ego nets); cost is O(|nodes| * (V+E)).
+    """
+    if nodes is None:
+        nodes = list(graph.nodes())
+    return {u: bfs_distances(graph, u, max_depth=max_depth) for u in nodes}
+
+
+def connected_components(graph):
+    """Yield the node sets of connected components (direction-blind)."""
+    seen = set()
+    for node in graph.nodes():
+        if node in seen:
+            continue
+        component = set(bfs_distances(graph, node))
+        seen |= component
+        yield component
+
+
+def eccentricity(graph, node):
+    """Largest hop distance from ``node`` to any reachable node."""
+    return max(bfs_distances(graph, node).values())

@@ -1,0 +1,45 @@
+"""The declarative pattern census language (Section II).
+
+Two statement families, matching the paper's Table I:
+
+- ``PATTERN name { ... }`` — defines a named pattern graph (edges with
+  optional direction and negation, bracketed attribute predicates,
+  ``SUBPATTERN`` blocks),
+- ``SELECT ... FROM nodes [AS n1[, nodes AS n2]] [WHERE ...]`` — runs a
+  census with the ``COUNTP`` / ``COUNTSP`` aggregates over ``SUBGRAPH``,
+  ``SUBGRAPH-INTERSECTION`` or ``SUBGRAPH-UNION`` neighborhoods.
+  ``ORDER BY`` / ``LIMIT`` are supported as an extension (the paper
+  lists top-k evaluation as future work).
+
+Use :func:`parse_script` for mixed statement sequences,
+:func:`parse_pattern` / :func:`parse_query` for single statements, and
+:data:`repro.lang.catalog.standard_patterns` for the Figure 3 patterns.
+"""
+
+from repro.lang.ast import (
+    Aggregate,
+    ColumnRef,
+    Neighborhood,
+    OrderItem,
+    SelectQuery,
+    TableRef,
+)
+from repro.lang.catalog import PatternCatalog, standard_patterns
+from repro.lang.lexer import Token, tokenize
+from repro.lang.parser import parse_pattern, parse_query, parse_script
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "parse_pattern",
+    "parse_query",
+    "parse_script",
+    "SelectQuery",
+    "TableRef",
+    "ColumnRef",
+    "Aggregate",
+    "Neighborhood",
+    "OrderItem",
+    "PatternCatalog",
+    "standard_patterns",
+]

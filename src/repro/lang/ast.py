@@ -1,0 +1,173 @@
+"""AST node types for census SQL queries.
+
+Pattern definitions parse directly into
+:class:`repro.matching.pattern.Pattern` (the pattern object *is* the
+AST); the classes here model the SELECT side.
+"""
+
+from repro.errors import QueryError
+
+
+class TableRef:
+    """``nodes [AS alias]`` — one scan of the logical nodes relation."""
+
+    __slots__ = ("alias",)
+
+    def __init__(self, alias):
+        self.alias = alias
+
+    def __repr__(self):
+        return f"TableRef(nodes AS {self.alias})"
+
+    def __eq__(self, other):
+        return isinstance(other, TableRef) and self.alias == other.alias
+
+
+class ColumnRef:
+    """``[alias.]name`` — a node id (``ID``) or node attribute reference."""
+
+    __slots__ = ("alias", "name")
+
+    def __init__(self, alias, name):
+        self.alias = alias  # None means "the only table"
+        self.name = name
+
+    @property
+    def is_id(self):
+        return self.name.lower() == "id"
+
+    def display_name(self):
+        return f"{self.alias}.{self.name}" if self.alias else self.name
+
+    def __repr__(self):
+        return f"ColumnRef({self.display_name()})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, ColumnRef)
+            and self.alias == other.alias
+            and self.name.lower() == other.name.lower()
+        )
+
+    def __hash__(self):
+        return hash((self.alias, self.name.lower()))
+
+
+class Neighborhood:
+    """A search neighborhood: SUBGRAPH / -INTERSECTION / -UNION.
+
+    ``kind`` is 'subgraph', 'intersection' or 'union'; ``targets`` is a
+    tuple of one or two :class:`ColumnRef` (must be ID references);
+    ``k`` the radius.
+    """
+
+    __slots__ = ("kind", "targets", "k")
+
+    def __init__(self, kind, targets, k):
+        if kind not in ("subgraph", "intersection", "union"):
+            raise QueryError(f"bad neighborhood kind {kind!r}")
+        want = 1 if kind == "subgraph" else 2
+        if len(targets) != want:
+            raise QueryError(f"{kind} neighborhood takes {want} node argument(s)")
+        for t in targets:
+            if not t.is_id:
+                raise QueryError("neighborhood arguments must be ID references")
+        if k < 0:
+            raise QueryError("neighborhood radius must be >= 0")
+        self.kind = kind
+        self.targets = tuple(targets)
+        self.k = k
+
+    def __repr__(self):
+        inner = ", ".join(t.display_name() for t in self.targets)
+        return f"Neighborhood({self.kind}, {inner}, k={self.k})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Neighborhood)
+            and (self.kind, self.targets, self.k) == (other.kind, other.targets, other.k)
+        )
+
+
+class Aggregate:
+    """``COUNTP(pattern, S)`` or ``COUNTSP(sub, pattern, S)``."""
+
+    __slots__ = ("pattern_name", "subpattern_name", "neighborhood", "output_name")
+
+    def __init__(self, pattern_name, neighborhood, subpattern_name=None, output_name=None):
+        self.pattern_name = pattern_name
+        self.subpattern_name = subpattern_name
+        self.neighborhood = neighborhood
+        if output_name is None:
+            if subpattern_name is None:
+                output_name = f"countp_{pattern_name}"
+            else:
+                output_name = f"countsp_{subpattern_name}_{pattern_name}"
+        self.output_name = output_name
+
+    def __repr__(self):
+        if self.subpattern_name is None:
+            return f"Aggregate(COUNTP({self.pattern_name}, {self.neighborhood!r}))"
+        return (
+            f"Aggregate(COUNTSP({self.subpattern_name}, {self.pattern_name}, "
+            f"{self.neighborhood!r}))"
+        )
+
+
+class OrderItem:
+    """One ORDER BY key: a column name or aggregate output name."""
+
+    __slots__ = ("key", "ascending")
+
+    def __init__(self, key, ascending=True):
+        self.key = key
+        self.ascending = ascending
+
+    def __repr__(self):
+        direction = "ASC" if self.ascending else "DESC"
+        return f"OrderItem({self.key} {direction})"
+
+
+class ExplainStatement:
+    """``EXPLAIN <select>`` — describe the plan instead of executing."""
+
+    __slots__ = ("query",)
+
+    def __init__(self, query):
+        self.query = query
+
+    def __repr__(self):
+        return f"Explain({self.query!r})"
+
+
+class SelectQuery:
+    """A parsed census SELECT statement."""
+
+    __slots__ = ("columns", "tables", "where", "order_by", "limit")
+
+    def __init__(self, columns, tables, where=None, order_by=(), limit=None):
+        if not tables:
+            raise QueryError("a query needs at least one table")
+        if len(tables) > 2:
+            raise QueryError("at most two node scans (a pair query) are supported")
+        self.columns = list(columns)
+        self.tables = list(tables)
+        self.where = where
+        self.order_by = list(order_by)
+        self.limit = limit
+
+    @property
+    def is_pair_query(self):
+        return len(self.tables) == 2
+
+    def aggregates(self):
+        return [c for c in self.columns if isinstance(c, Aggregate)]
+
+    def plain_columns(self):
+        return [c for c in self.columns if isinstance(c, ColumnRef)]
+
+    def __repr__(self):
+        return (
+            f"SelectQuery(columns={self.columns!r}, tables={self.tables!r}, "
+            f"where={self.where!r}, order_by={self.order_by!r}, limit={self.limit})"
+        )

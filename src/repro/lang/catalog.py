@@ -1,0 +1,132 @@
+"""Named pattern registry and the paper's standard patterns.
+
+:class:`PatternCatalog` is the namespace SELECT statements resolve
+pattern names against.  :func:`standard_patterns` builds the query
+patterns of Figure 3 (labeled triangle ``clq3``, 4-clique ``clq4``,
+square ``sqr``, plus paths and stars) together with their unlabeled
+variants (``*-unlb``) and the Table I example patterns.
+"""
+
+from repro.errors import QueryError
+from repro.matching.pattern import Pattern
+
+
+class PatternCatalog:
+    """A name -> :class:`Pattern` registry."""
+
+    def __init__(self, patterns=()):
+        self._patterns = {}
+        #: bumped on every (re)registration; caches key on it so a
+        #: redefined pattern invalidates dependent results.
+        self.version = 0
+        for p in patterns:
+            self.register(p)
+
+    def register(self, pattern, replace=True):
+        if not replace and pattern.name in self._patterns:
+            raise QueryError(f"pattern {pattern.name!r} is already defined")
+        pattern.validate()
+        self._patterns[pattern.name] = pattern
+        self.version += 1
+        return pattern
+
+    def get(self, name):
+        try:
+            return self._patterns[name]
+        except KeyError:
+            raise QueryError(
+                f"unknown pattern {name!r}; defined patterns: {sorted(self._patterns)}"
+            ) from None
+
+    def __contains__(self, name):
+        return name in self._patterns
+
+    def names(self):
+        return sorted(self._patterns)
+
+    def __len__(self):
+        return len(self._patterns)
+
+
+def _clique(name, labels):
+    p = Pattern(name)
+    variables = [chr(ord("A") + i) for i in range(len(labels))]
+    for var, label in zip(variables, labels):
+        p.add_node(var, label=label)
+    for i in range(len(variables)):
+        for j in range(i + 1, len(variables)):
+            p.add_edge(variables[i], variables[j])
+    return p
+
+
+def _cycle(name, labels):
+    p = Pattern(name)
+    variables = [chr(ord("A") + i) for i in range(len(labels))]
+    for var, label in zip(variables, labels):
+        p.add_node(var, label=label)
+    for i, var in enumerate(variables):
+        p.add_edge(var, variables[(i + 1) % len(variables)])
+    return p
+
+
+def _path(name, labels):
+    p = Pattern(name)
+    variables = [chr(ord("A") + i) for i in range(len(labels))]
+    for var, label in zip(variables, labels):
+        p.add_node(var, label=label)
+    for a, b in zip(variables, variables[1:]):
+        p.add_edge(a, b)
+    return p
+
+
+def _star(name, leaf_labels, hub_label):
+    p = Pattern(name)
+    p.add_node("A", label=hub_label)
+    for i, label in enumerate(leaf_labels):
+        leaf = chr(ord("B") + i)
+        p.add_node(leaf, label=label)
+        p.add_edge("A", leaf)
+    return p
+
+
+def standard_patterns():
+    """The Figure 3 query patterns + unlabeled variants + Table I basics.
+
+    Labeled patterns use the paper's 4-letter label alphabet A–D.
+    Returns a fresh list of :class:`Pattern` objects.
+    """
+    patterns = [
+        _clique("clq3", ["A", "B", "C"]),
+        _clique("clq4", ["A", "B", "C", "D"]),
+        _cycle("sqr", ["A", "B", "C", "D"]),
+        _path("path2", ["A", "B", "C"]),
+        _path("path3", ["A", "B", "C", "D"]),
+        _star("star3", ["B", "C", "D"], "A"),
+        _clique("clq3-unlb", [None, None, None]),
+        _clique("clq4-unlb", [None, None, None, None]),
+        _cycle("sqr-unlb", [None, None, None, None]),
+        _path("path2-unlb", [None, None, None]),
+        _star("star3-unlb", [None, None, None], None),
+    ]
+
+    single_node = Pattern("single_node")
+    single_node.add_node("A")
+    patterns.append(single_node)
+
+    single_edge = Pattern("single_edge")
+    single_edge.add_edge("A", "B")
+    patterns.append(single_edge)
+
+    square = Pattern("square")
+    square.add_edge("A", "B")
+    square.add_edge("B", "C")
+    square.add_edge("C", "D")
+    square.add_edge("D", "A")
+    patterns.append(square)
+
+    return patterns
+
+
+def standard_catalog():
+    """A fresh catalog preloaded with :func:`standard_patterns`."""
+    return PatternCatalog(standard_patterns())

@@ -1,0 +1,191 @@
+"""WHERE-clause expressions: AST nodes and evaluation.
+
+Expressions are evaluated once per candidate row (a node, or a pair of
+nodes for two-table queries).  ``RND()`` draws from the engine's seeded
+random generator, making selectivity predicates like
+``WHERE RND() < 0.2`` (Figure 4(e)) deterministic per engine seed.
+"""
+
+import operator
+
+from repro.errors import QueryError
+from repro.lang.ast import ColumnRef
+
+_BINOPS = {
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+    "%": operator.mod,
+}
+
+_COMPARISONS = {"=", "==", "!=", "<>", "<", "<=", ">", ">="}
+
+
+class EvalContext:
+    """Row context: alias -> node bindings, the graph, and a seeded RNG."""
+
+    __slots__ = ("graph", "bindings", "rng")
+
+    def __init__(self, graph, bindings, rng):
+        self.graph = graph
+        self.bindings = bindings
+        self.rng = rng
+
+    def resolve(self, ref):
+        if ref.alias is None:
+            if len(self.bindings) != 1:
+                raise QueryError(
+                    f"column {ref.name!r} is ambiguous; qualify it with a table alias"
+                )
+            node = next(iter(self.bindings.values()))
+        else:
+            try:
+                node = self.bindings[ref.alias]
+            except KeyError:
+                raise QueryError(f"unknown table alias {ref.alias!r}") from None
+        if ref.is_id:
+            return node
+        attrs = self.graph.node_attrs(node)
+        if ref.name in attrs:
+            return attrs[ref.name]
+        return attrs.get(ref.name.lower())
+
+
+class Literal:
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def evaluate(self, ctx):
+        return self.value
+
+    def __repr__(self):
+        return f"Literal({self.value!r})"
+
+
+class Column:
+    """A column reference used inside an expression."""
+
+    __slots__ = ("ref",)
+
+    def __init__(self, ref):
+        self.ref = ref
+
+    def evaluate(self, ctx):
+        return ctx.resolve(self.ref)
+
+    def __repr__(self):
+        return f"Column({self.ref.display_name()})"
+
+
+class Rnd:
+    """``RND()`` — a uniform draw in [0, 1) from the engine's RNG."""
+
+    __slots__ = ()
+
+    def evaluate(self, ctx):
+        return ctx.rng.random()
+
+    def __repr__(self):
+        return "Rnd()"
+
+
+class Unary:
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op, operand):
+        if op not in ("not", "-"):
+            raise QueryError(f"bad unary operator {op!r}")
+        self.op = op
+        self.operand = operand
+
+    def evaluate(self, ctx):
+        value = self.operand.evaluate(ctx)
+        if self.op == "not":
+            return not value
+        return -value
+
+    def __repr__(self):
+        return f"Unary({self.op}, {self.operand!r})"
+
+
+class Binary:
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op, left, right):
+        if op not in _BINOPS and op not in ("and", "or"):
+            raise QueryError(f"bad binary operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, ctx):
+        if self.op == "and":
+            return bool(self.left.evaluate(ctx)) and bool(self.right.evaluate(ctx))
+        if self.op == "or":
+            return bool(self.left.evaluate(ctx)) or bool(self.right.evaluate(ctx))
+        lhs = self.left.evaluate(ctx)
+        rhs = self.right.evaluate(ctx)
+        try:
+            return _BINOPS[self.op](lhs, rhs)
+        except TypeError:
+            if self.op in _COMPARISONS:
+                # Incomparable values (None vs int, str vs int) fail the
+                # comparison rather than aborting the query.
+                return False
+            raise QueryError(
+                f"cannot apply {self.op!r} to {type(lhs).__name__} and {type(rhs).__name__}"
+            ) from None
+        except ZeroDivisionError:
+            raise QueryError("division by zero in WHERE clause") from None
+
+    def __repr__(self):
+        return f"Binary({self.op}, {self.left!r}, {self.right!r})"
+
+
+def evaluate_where(expr, graph, bindings, rng):
+    """Evaluate a WHERE expression to a boolean for one row."""
+    if expr is None:
+        return True
+    ctx = EvalContext(graph, bindings, rng)
+    return bool(expr.evaluate(ctx))
+
+
+def expression_columns(expr):
+    """All :class:`ColumnRef` mentioned in ``expr`` (for validation)."""
+    out = []
+
+    def walk(e):
+        if isinstance(e, Column):
+            out.append(e.ref)
+        elif isinstance(e, Unary):
+            walk(e.operand)
+        elif isinstance(e, Binary):
+            walk(e.left)
+            walk(e.right)
+
+    walk(expr)
+    return out
+
+
+__all__ = [
+    "EvalContext",
+    "Literal",
+    "Column",
+    "Rnd",
+    "Unary",
+    "Binary",
+    "evaluate_where",
+    "expression_columns",
+    "ColumnRef",
+]

@@ -1,0 +1,169 @@
+"""Tokenizer for the pattern census language.
+
+Hand-rolled single-pass lexer producing :class:`Token` objects with
+1-based line/column positions for error reporting.  Keywords are
+case-insensitive; identifiers keep their original spelling.  The
+compound neighborhood names ``SUBGRAPH-INTERSECTION`` and
+``SUBGRAPH-UNION`` are folded into single identifier tokens here so the
+parser never has to disambiguate their hyphens from minus/edge syntax.
+"""
+
+from repro.errors import ParseError
+
+# Token kinds.
+IDENT = "IDENT"
+VARIABLE = "VARIABLE"  # ?A
+NUMBER = "NUMBER"
+STRING = "STRING"
+SYMBOL = "SYMBOL"
+EOF = "EOF"
+
+KEYWORDS = {
+    "pattern", "subpattern", "select", "from", "where", "as",
+    "and", "or", "not", "order", "by", "limit", "asc", "desc",
+    "countp", "countsp", "subgraph", "rnd", "edge",
+    "true", "false", "null", "nodes", "explain",
+}
+
+_COMPOUND_SUFFIXES = {"intersection", "union"}
+
+_TWO_CHAR_SYMBOLS = ("->", "!-", "<=", ">=", "!=", "<>", "==")
+_ONE_CHAR_SYMBOLS = set("(){}[];,.*-+/<>=!%")
+
+
+class Token:
+    """A lexical token: ``kind``, source ``text``, and position."""
+
+    __slots__ = ("kind", "text", "line", "column")
+
+    def __init__(self, kind, text, line, column):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.column = column
+
+    @property
+    def lowered(self):
+        return self.text.lower()
+
+    def is_keyword(self, word):
+        return self.kind == IDENT and self.text.lower() == word
+
+    def is_symbol(self, sym):
+        return self.kind == SYMBOL and self.text == sym
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(text):
+    """Tokenize ``text`` into a list of tokens ending with an EOF token."""
+    tokens = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(text)
+
+    def error(msg):
+        raise ParseError(msg, line=line, column=col)
+
+    while i < n:
+        ch = text[i]
+        # Whitespace
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        # Comments: -- to end of line (SQL style) and # to end of line.
+        if ch == "#" or text.startswith("--", i):
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        start_line, start_col = line, col
+        # Variables: ?Name
+        if ch == "?":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            if j == i + 1:
+                error("expected a variable name after '?'")
+            tokens.append(Token(VARIABLE, text[i + 1 : j], start_line, start_col))
+            col += j - i
+            i = j
+            continue
+        # Strings
+        if ch in "'\"":
+            quote = ch
+            j = i + 1
+            buf = []
+            while j < n and text[j] != quote:
+                if text[j] == "\n":
+                    error("unterminated string literal")
+                buf.append(text[j])
+                j += 1
+            if j >= n:
+                error("unterminated string literal")
+            tokens.append(Token(STRING, "".join(buf), start_line, start_col))
+            col += j + 1 - i
+            i = j + 1
+            continue
+        # Numbers (unsigned; unary minus handled by the parser)
+        if ch.isdigit():
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # Don't swallow a trailing dot (attribute access).
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token(NUMBER, text[i:j], start_line, start_col))
+            col += j - i
+            i = j
+            continue
+        # Identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            # Fold SUBGRAPH-INTERSECTION / SUBGRAPH-UNION.
+            if word.lower() == "subgraph" and j < n and text[j] == "-":
+                j2 = j + 1
+                while j2 < n and (text[j2].isalnum() or text[j2] == "_"):
+                    j2 += 1
+                suffix = text[j + 1 : j2]
+                if suffix.lower() in _COMPOUND_SUFFIXES:
+                    word = f"{word}-{suffix}"
+                    j = j2
+            tokens.append(Token(IDENT, word, start_line, start_col))
+            col += j - i
+            i = j
+            continue
+        # Symbols (two-char first)
+        two = text[i : i + 2]
+        if two in _TWO_CHAR_SYMBOLS:
+            if two == "!-" and text[i : i + 3] == "!->":
+                tokens.append(Token(SYMBOL, "!->", start_line, start_col))
+                i += 3
+                col += 3
+                continue
+            tokens.append(Token(SYMBOL, two, start_line, start_col))
+            i += 2
+            col += 2
+            continue
+        if ch in _ONE_CHAR_SYMBOLS:
+            tokens.append(Token(SYMBOL, ch, start_line, start_col))
+            i += 1
+            col += 1
+            continue
+        error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(EOF, "", line, col))
+    return tokens

@@ -1,0 +1,498 @@
+"""Recursive-descent parser for the pattern census language.
+
+Grammar (statements may be separated by optional semicolons)::
+
+    script      := (pattern_def | select_stmt)*
+    pattern_def := PATTERN name '{' item* '}'
+    item        := VARIABLE ';'                              -- node decl
+                 | VARIABLE ('!')? ('-' | '->') VARIABLE ';' -- edge
+                 | '[' operand cmp_op operand ']' ';'?       -- predicate
+                 | SUBPATTERN name '{' (VARIABLE ';')+ '}' ';'?
+    operand     := VARIABLE '.' IDENT
+                 | EDGE '(' VARIABLE ',' VARIABLE ')' '.' IDENT
+                 | literal
+
+    select_stmt := SELECT select_item (',' select_item)*
+                   FROM table (',' table)*
+                   (WHERE expr)? (ORDER BY order_item (',' order_item)*)?
+                   (LIMIT NUMBER)? ';'?
+    select_item := COUNTP '(' name ',' hood ')' (AS IDENT)?
+                 | COUNTSP '(' name ',' name ',' hood ')' (AS IDENT)?
+                 | column_ref
+    hood        := SUBGRAPH '(' column_ref ',' NUMBER ')'
+                 | SUBGRAPH-INTERSECTION '(' column_ref ',' column_ref ',' NUMBER ')'
+                 | SUBGRAPH-UNION '(' column_ref ',' column_ref ',' NUMBER ')'
+    table       := NODES (AS IDENT)?
+
+Pattern names may contain hyphens (``clq3-unlb``); the parser joins the
+pieces back together.
+"""
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang import expressions as ex
+from repro.lang.lexer import EOF, IDENT, NUMBER, STRING, SYMBOL, VARIABLE, tokenize
+from repro.matching.pattern import Pattern
+from repro.matching.predicates import Comparison, Const, EdgeAttr
+
+_CMP_OPS = {"=", "==", "!=", "<>", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -------------------------------------------------
+    def peek(self, ahead=0):
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def advance(self):
+        tok = self.tokens[self.pos]
+        if tok.kind != EOF:
+            self.pos += 1
+        return tok
+
+    def error(self, message, tok=None):
+        tok = tok or self.peek()
+        raise ParseError(message, line=tok.line, column=tok.column)
+
+    def expect_symbol(self, sym):
+        tok = self.peek()
+        if not tok.is_symbol(sym):
+            self.error(f"expected {sym!r}, found {tok.text!r}")
+        return self.advance()
+
+    def expect_keyword(self, word):
+        tok = self.peek()
+        if not tok.is_keyword(word):
+            self.error(f"expected {word.upper()!r}, found {tok.text!r}")
+        return self.advance()
+
+    def accept_symbol(self, sym):
+        if self.peek().is_symbol(sym):
+            self.advance()
+            return True
+        return False
+
+    def accept_keyword(self, word):
+        if self.peek().is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def at_end(self):
+        return self.peek().kind == EOF
+
+    # -- names ----------------------------------------------------------
+    def parse_name(self):
+        """IDENT optionally extended by '-IDENT'/'-NUMBER' pieces."""
+        tok = self.peek()
+        if tok.kind != IDENT:
+            self.error(f"expected a name, found {tok.text!r}")
+        parts = [self.advance().text]
+        while self.peek().is_symbol("-") and self.peek(1).kind in (IDENT, NUMBER):
+            self.advance()
+            parts.append(self.advance().text)
+        return "-".join(parts)
+
+    def parse_column_ref(self):
+        tok = self.peek()
+        if tok.kind != IDENT:
+            self.error(f"expected a column reference, found {tok.text!r}")
+        first = self.advance().text
+        if self.accept_symbol("."):
+            second = self.peek()
+            if second.kind != IDENT:
+                self.error(f"expected an attribute name after '.', found {second.text!r}")
+            return ast.ColumnRef(first, self.advance().text)
+        return ast.ColumnRef(None, first)
+
+    # -- script ----------------------------------------------------------
+    def parse_script(self):
+        statements = []
+        while not self.at_end():
+            if self.accept_symbol(";"):
+                continue
+            tok = self.peek()
+            if tok.is_keyword("pattern"):
+                statements.append(self.parse_pattern_def())
+            elif tok.is_keyword("select"):
+                statements.append(self.parse_select())
+            elif tok.is_keyword("explain"):
+                self.advance()
+                statements.append(ast.ExplainStatement(self.parse_select()))
+            else:
+                self.error(f"expected PATTERN, SELECT or EXPLAIN, found {tok.text!r}")
+        return statements
+
+    # -- pattern definitions ----------------------------------------------
+    def parse_pattern_def(self):
+        self.expect_keyword("pattern")
+        pattern = Pattern(self.parse_name())
+        self.expect_symbol("{")
+        while not self.accept_symbol("}"):
+            tok = self.peek()
+            if tok.kind == VARIABLE:
+                self._parse_pattern_item(pattern)
+            elif tok.is_symbol("["):
+                pattern.add_predicate(self.parse_predicate())
+                self.accept_symbol(";")
+            elif tok.is_keyword("subpattern"):
+                self._parse_subpattern(pattern)
+                self.accept_symbol(";")
+            elif tok.kind == EOF:
+                self.error("unterminated PATTERN block (missing '}')")
+            else:
+                self.error(f"unexpected {tok.text!r} inside PATTERN block")
+        self.accept_symbol(";")
+        return pattern
+
+    def _parse_pattern_item(self, pattern):
+        u = self.advance().text
+        tok = self.peek()
+        if tok.is_symbol(";"):
+            self.advance()
+            pattern.add_node(u)
+            return
+        negated = False
+        if tok.is_symbol("!-") or tok.is_symbol("!->"):
+            negated = True
+            directed = tok.text == "!->"
+            self.advance()
+        elif tok.is_symbol("-") or tok.is_symbol("->"):
+            directed = tok.text == "->"
+            self.advance()
+        elif tok.is_symbol("!"):
+            # '!' immediately followed by an edge symbol (tolerated form).
+            self.advance()
+            arrow = self.peek()
+            if arrow.is_symbol("-") or arrow.is_symbol("->"):
+                negated = True
+                directed = arrow.text == "->"
+                self.advance()
+            else:
+                self.error(f"expected '-' or '->' after '!', found {arrow.text!r}")
+        else:
+            self.error(f"expected ';', '-', '->', '!-' or '!->', found {tok.text!r}")
+        vtok = self.peek()
+        if vtok.kind != VARIABLE:
+            self.error(f"expected a variable, found {vtok.text!r}")
+        v = self.advance().text
+        self.expect_symbol(";")
+        pattern.add_edge(u, v, directed=directed, negated=negated)
+
+    def _parse_subpattern(self, pattern):
+        self.expect_keyword("subpattern")
+        name = self.parse_name()
+        self.expect_symbol("{")
+        members = []
+        while not self.accept_symbol("}"):
+            tok = self.peek()
+            if tok.kind != VARIABLE:
+                self.error(f"expected a variable inside SUBPATTERN, found {tok.text!r}")
+            members.append(self.advance().text)
+            self.accept_symbol(";")
+        pattern.add_subpattern(name, members)
+
+    def parse_predicate(self):
+        self.expect_symbol("[")
+        lhs = self.parse_pattern_operand()
+        op_tok = self.peek()
+        if not (op_tok.kind == SYMBOL and op_tok.text in _CMP_OPS):
+            self.error(f"expected a comparison operator, found {op_tok.text!r}")
+        op = self.advance().text
+        rhs = self.parse_pattern_operand()
+        self.expect_symbol("]")
+        return Comparison(lhs, op, rhs)
+
+    def parse_pattern_operand(self):
+        tok = self.peek()
+        if tok.kind == VARIABLE:
+            var = self.advance().text
+            self.expect_symbol(".")
+            attr_tok = self.peek()
+            if attr_tok.kind != IDENT:
+                self.error(f"expected an attribute name, found {attr_tok.text!r}")
+            from repro.matching.predicates import Attr
+
+            return Attr(var, self.advance().text)
+        if tok.is_keyword("edge"):
+            self.advance()
+            self.expect_symbol("(")
+            u_tok = self.peek()
+            if u_tok.kind != VARIABLE:
+                self.error(f"expected a variable, found {u_tok.text!r}")
+            u = self.advance().text
+            self.expect_symbol(",")
+            v_tok = self.peek()
+            if v_tok.kind != VARIABLE:
+                self.error(f"expected a variable, found {v_tok.text!r}")
+            v = self.advance().text
+            self.expect_symbol(")")
+            self.expect_symbol(".")
+            attr_tok = self.peek()
+            if attr_tok.kind != IDENT:
+                self.error(f"expected an attribute name, found {attr_tok.text!r}")
+            return EdgeAttr(u, v, self.advance().text)
+        return Const(self.parse_literal())
+
+    def parse_literal(self):
+        tok = self.peek()
+        if tok.kind == NUMBER:
+            self.advance()
+            return float(tok.text) if "." in tok.text else int(tok.text)
+        if tok.kind == STRING:
+            self.advance()
+            return tok.text
+        if tok.is_keyword("true"):
+            self.advance()
+            return True
+        if tok.is_keyword("false"):
+            self.advance()
+            return False
+        if tok.is_keyword("null"):
+            self.advance()
+            return None
+        if tok.is_symbol("-") and self.peek(1).kind == NUMBER:
+            self.advance()
+            num = self.advance().text
+            return -(float(num) if "." in num else int(num))
+        self.error(f"expected a literal, found {tok.text!r}")
+
+    # -- SELECT ------------------------------------------------------------
+    def parse_select(self):
+        self.expect_keyword("select")
+        columns = [self.parse_select_item()]
+        while self.accept_symbol(","):
+            columns.append(self.parse_select_item())
+        self.expect_keyword("from")
+        tables = [self.parse_table()]
+        while self.accept_symbol(","):
+            tables.append(self.parse_table())
+        where = None
+        if self.accept_keyword("where"):
+            where = self.parse_expression()
+        order_by = []
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            order_by.append(self.parse_order_item())
+            while self.accept_symbol(","):
+                order_by.append(self.parse_order_item())
+        limit = None
+        if self.accept_keyword("limit"):
+            tok = self.peek()
+            if tok.kind != NUMBER or "." in tok.text:
+                self.error(f"expected an integer after LIMIT, found {tok.text!r}")
+            limit = int(self.advance().text)
+        self.accept_symbol(";")
+        self._fill_default_aliases(tables)
+        return ast.SelectQuery(columns, tables, where=where, order_by=order_by, limit=limit)
+
+    def _fill_default_aliases(self, tables):
+        if len(tables) == 1 and tables[0].alias is None:
+            tables[0].alias = "nodes"
+        names = [t.alias for t in tables]
+        if None in names or len(set(names)) != len(names):
+            self.error("pair queries require distinct table aliases (e.g. AS n1, AS n2)")
+
+    def parse_table(self):
+        self.expect_keyword("nodes")
+        alias = None
+        if self.accept_keyword("as"):
+            tok = self.peek()
+            if tok.kind != IDENT:
+                self.error(f"expected an alias, found {tok.text!r}")
+            alias = self.advance().text
+        return ast.TableRef(alias)
+
+    def parse_select_item(self):
+        tok = self.peek()
+        if tok.is_keyword("countp"):
+            self.advance()
+            self.expect_symbol("(")
+            pattern_name = self.parse_name()
+            self.expect_symbol(",")
+            hood = self.parse_neighborhood()
+            self.expect_symbol(")")
+            output = self._parse_optional_as()
+            return ast.Aggregate(pattern_name, hood, output_name=output)
+        if tok.is_keyword("countsp"):
+            self.advance()
+            self.expect_symbol("(")
+            sub_name = self.parse_name()
+            self.expect_symbol(",")
+            pattern_name = self.parse_name()
+            self.expect_symbol(",")
+            hood = self.parse_neighborhood()
+            self.expect_symbol(")")
+            output = self._parse_optional_as()
+            return ast.Aggregate(pattern_name, hood, subpattern_name=sub_name, output_name=output)
+        return self.parse_column_ref()
+
+    def _parse_optional_as(self):
+        if self.accept_keyword("as"):
+            tok = self.peek()
+            if tok.kind != IDENT:
+                self.error(f"expected an output name, found {tok.text!r}")
+            return self.advance().text
+        return None
+
+    def parse_neighborhood(self):
+        tok = self.peek()
+        lowered = tok.lowered
+        if lowered == "subgraph":
+            self.advance()
+            self.expect_symbol("(")
+            target = self.parse_column_ref()
+            self.expect_symbol(",")
+            k = self._parse_radius()
+            self.expect_symbol(")")
+            return ast.Neighborhood("subgraph", [target], k)
+        if lowered in ("subgraph-intersection", "subgraph-union"):
+            self.advance()
+            kind = "intersection" if lowered.endswith("intersection") else "union"
+            self.expect_symbol("(")
+            t1 = self.parse_column_ref()
+            self.expect_symbol(",")
+            t2 = self.parse_column_ref()
+            self.expect_symbol(",")
+            k = self._parse_radius()
+            self.expect_symbol(")")
+            return ast.Neighborhood(kind, [t1, t2], k)
+        self.error(
+            f"expected SUBGRAPH, SUBGRAPH-INTERSECTION or SUBGRAPH-UNION, found {tok.text!r}"
+        )
+
+    def _parse_radius(self):
+        tok = self.peek()
+        if tok.kind != NUMBER or "." in tok.text:
+            self.error(f"expected an integer radius, found {tok.text!r}")
+        return int(self.advance().text)
+
+    def parse_order_item(self):
+        tok = self.peek()
+        if tok.kind != IDENT:
+            self.error(f"expected a column name in ORDER BY, found {tok.text!r}")
+        key = self.advance().text
+        if self.accept_symbol("."):
+            attr = self.peek()
+            if attr.kind != IDENT:
+                self.error(f"expected an attribute after '.', found {attr.text!r}")
+            key = f"{key}.{self.advance().text}"
+        ascending = True
+        if self.accept_keyword("desc"):
+            ascending = False
+        elif self.accept_keyword("asc"):
+            ascending = True
+        return ast.OrderItem(key, ascending)
+
+    # -- WHERE expressions ---------------------------------------------------
+    def parse_expression(self):
+        return self._parse_or()
+
+    def _parse_or(self):
+        left = self._parse_and()
+        while self.accept_keyword("or"):
+            left = ex.Binary("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self):
+        left = self._parse_not()
+        while self.accept_keyword("and"):
+            left = ex.Binary("and", left, self._parse_not())
+        return left
+
+    def _parse_not(self):
+        if self.accept_keyword("not"):
+            return ex.Unary("not", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self):
+        left = self._parse_additive()
+        tok = self.peek()
+        if tok.kind == SYMBOL and tok.text in _CMP_OPS:
+            op = self.advance().text
+            right = self._parse_additive()
+            return ex.Binary(op, left, right)
+        return left
+
+    def _parse_additive(self):
+        left = self._parse_multiplicative()
+        while True:
+            tok = self.peek()
+            if tok.is_symbol("+") or tok.is_symbol("-"):
+                op = self.advance().text
+                left = ex.Binary(op, left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self):
+        left = self._parse_unary()
+        while True:
+            tok = self.peek()
+            if tok.is_symbol("*") or tok.is_symbol("/") or tok.is_symbol("%"):
+                op = self.advance().text
+                left = ex.Binary(op, left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self):
+        if self.accept_symbol("-"):
+            return ex.Unary("-", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self):
+        tok = self.peek()
+        if tok.kind == NUMBER:
+            self.advance()
+            value = float(tok.text) if "." in tok.text else int(tok.text)
+            return ex.Literal(value)
+        if tok.kind == STRING:
+            self.advance()
+            return ex.Literal(tok.text)
+        if tok.is_keyword("true"):
+            self.advance()
+            return ex.Literal(True)
+        if tok.is_keyword("false"):
+            self.advance()
+            return ex.Literal(False)
+        if tok.is_keyword("null"):
+            self.advance()
+            return ex.Literal(None)
+        if tok.is_keyword("rnd"):
+            self.advance()
+            self.expect_symbol("(")
+            self.expect_symbol(")")
+            return ex.Rnd()
+        if tok.is_symbol("("):
+            self.advance()
+            inner = self.parse_expression()
+            self.expect_symbol(")")
+            return inner
+        if tok.kind == IDENT:
+            return ex.Column(self.parse_column_ref())
+        self.error(f"unexpected {tok.text!r} in expression")
+
+
+def parse_script(text):
+    """Parse a sequence of PATTERN and SELECT statements."""
+    return _Parser(tokenize(text)).parse_script()
+
+
+def parse_pattern(text):
+    """Parse exactly one PATTERN definition."""
+    parser = _Parser(tokenize(text))
+    pattern = parser.parse_pattern_def()
+    if not parser.at_end():
+        parser.error("trailing input after PATTERN definition")
+    return pattern
+
+
+def parse_query(text):
+    """Parse exactly one SELECT statement."""
+    parser = _Parser(tokenize(text))
+    query = parser.parse_select()
+    if not parser.at_end():
+        parser.error("trailing input after SELECT statement")
+    return query

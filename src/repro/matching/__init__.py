@@ -1,0 +1,69 @@
+"""Subgraph pattern matching (Section III of the paper).
+
+Three matchers share one interface (``matcher(graph, pattern) -> [Match]``):
+
+- :func:`repro.matching.cn.cn_matches` — the paper's proposed algorithm
+  built on *candidate neighbor sets* (profile filtering, simultaneous
+  pruning, forward extraction by intersecting candidate-neighbor sets),
+- :func:`repro.matching.gql.gql_matches` — a GraphQL-style baseline that
+  keeps only per-pattern-node candidate sets and pays for extraction by
+  scanning them,
+- :func:`repro.matching.bruteforce.bruteforce_matches` — an unoptimized
+  backtracking reference used as ground truth in tests.
+
+``find_matches`` is the public entry point and dispatches by name.
+"""
+
+from repro.matching.base import Match, MatchSet
+from repro.matching.bruteforce import bruteforce_matches
+from repro.matching.cn import cn_matches
+from repro.matching.gql import gql_matches
+from repro.matching.pattern import Pattern, PatternEdge, PatternNode
+from repro.matching.predicates import Comparison, attr, const, edge_attr
+from repro.matching.seeded import seeded_matches, validate_embedding
+
+_MATCHERS = {
+    "cn": cn_matches,
+    "gql": gql_matches,
+    "bruteforce": bruteforce_matches,
+}
+
+
+def find_matches(graph, pattern, method="cn", distinct=True):
+    """Find all matches of ``pattern`` in ``graph``.
+
+    Parameters
+    ----------
+    method:
+        One of ``"cn"`` (default, the paper's algorithm), ``"gql"``, or
+        ``"bruteforce"``.
+    distinct:
+        When true (default), automorphic embeddings of the same subgraph
+        are collapsed to one match — this is the counting unit of a
+        pattern census ("number of triangles", not "number of ordered
+        triangles").  When false, every embedding is returned.
+    """
+    try:
+        matcher = _MATCHERS[method]
+    except KeyError:
+        raise ValueError(f"unknown matcher {method!r}; expected one of {sorted(_MATCHERS)}")
+    return matcher(graph, pattern, distinct=distinct)
+
+
+__all__ = [
+    "Pattern",
+    "PatternNode",
+    "PatternEdge",
+    "Match",
+    "MatchSet",
+    "Comparison",
+    "attr",
+    "const",
+    "edge_attr",
+    "find_matches",
+    "cn_matches",
+    "gql_matches",
+    "bruteforce_matches",
+    "seeded_matches",
+    "validate_embedding",
+]

@@ -1,0 +1,144 @@
+"""The paper's candidate-neighbor (CN) subgraph matcher (Section III).
+
+Four steps, mirroring Algorithm 1:
+
+1. Enumerate profile-filtered candidates ``C(v)`` per pattern node.
+2. For each candidate ``n`` of ``v`` and each pattern neighbor ``v'`` of
+   ``v``, initialize the candidate-neighbor set
+   ``CN(n, v, v') = C(v') ∩ N(n)`` (direction-aware).
+3. Simultaneously prune: drop ``n`` from ``C(v)`` when any of its
+   candidate-neighbor sets goes empty, and drop ``n'`` from
+   ``CN(n, v, v')`` once ``n'`` leaves ``C(v')``; repeat to fixpoint
+   (bounded by |V_P| passes).
+4. Extract matches forward along a connected order, computing the
+   candidates of the next variable as the *intersection of
+   candidate-neighbor sets* of its already-bound pattern neighbors —
+   the step that gives CN its orders-of-magnitude win over scanning
+   full candidate sets.
+"""
+
+from repro.matching.base import (
+    Match,
+    check_new_binding,
+    dedupe_matches,
+    enumerate_candidates,
+    neighbor_set,
+)
+from repro.matching.order import connected_order, earlier_neighbors
+
+
+class CNState:
+    """Intermediate state of the CN matcher, exposed for inspection.
+
+    ``candidates[var]`` is ``C(v)``; ``cn[(var, node)][other]`` is
+    ``CN(node, var, other)``.  Benchmarks use ``stats`` to report
+    pruning effectiveness.
+    """
+
+    def __init__(self, candidates, cn, stats):
+        self.candidates = candidates
+        self.cn = cn
+        self.stats = stats
+
+
+def build_cn_state(graph, pattern, profile_index=None):
+    """Run steps 1–3 (candidates, CN init, fixpoint pruning)."""
+    pattern.validate()
+    candidates = enumerate_candidates(graph, pattern, profile_index)
+    stats = {"initial_candidates": {v: len(c) for v, c in candidates.items()}}
+
+    # CN entries are keyed by (neighbor var, edge id): two parallel
+    # pattern edges between the same pair (e.g. ?A-?B plus ?B->?A)
+    # impose independent constraints and must not collide.
+    edge_ids = {id(e): i for i, e in enumerate(pattern.edges)}
+    neighbor_lists = {
+        v: [(other, edge, edge_ids[id(edge)]) for other, edge in pattern.positive_neighbors(v)]
+        for v in pattern.nodes
+    }
+    cn = {}
+    for var, cset in candidates.items():
+        for n in cset:
+            entry = {}
+            for other, edge, eid in neighbor_lists[var]:
+                entry[(other, eid)] = candidates[other] & set(
+                    neighbor_set(graph, n, var, edge)
+                )
+            cn[(var, n)] = entry
+
+    passes = 0
+    changed = True
+    while changed:
+        changed = False
+        passes += 1
+        # Drop candidates with an empty candidate-neighbor set.
+        for var in pattern.nodes:
+            doomed = [
+                n
+                for n in candidates[var]
+                if any(not s for s in cn[(var, n)].values())
+            ]
+            for n in doomed:
+                candidates[var].discard(n)
+                del cn[(var, n)]
+                changed = True
+        # Drop candidate neighbors that are no longer candidates.
+        for (var, n), entry in cn.items():
+            for (other, eid), s in entry.items():
+                stale = s - candidates[other]
+                if stale:
+                    s -= stale
+                    entry[(other, eid)] = s
+                    changed = True
+
+    stats["pruning_passes"] = passes
+    stats["pruned_candidates"] = {v: len(c) for v, c in candidates.items()}
+    return CNState(candidates, cn, stats)
+
+
+def extract_matches(graph, pattern, state, limit=None):
+    """Step 4: forward extraction over the pruned CN state."""
+    order = connected_order(pattern, {v: len(c) for v, c in state.candidates.items()})
+    back_edges = [earlier_neighbors(pattern, order, i) for i in range(len(order))]
+    edge_ids = {id(e): i for i, e in enumerate(pattern.edges)}
+
+    matches = []
+    assignment = {}
+    bound = []
+
+    def extend(i):
+        if limit is not None and len(matches) >= limit:
+            return
+        if i == len(order):
+            matches.append(Match(assignment, pattern))
+            return
+        var = order[i]
+        if i == 0:
+            pool = state.candidates[var]
+        else:
+            pool = None
+            for earlier, edge in back_edges[i]:
+                s = state.cn[(earlier, assignment[earlier])][(var, edge_ids[id(edge)])]
+                pool = set(s) if pool is None else pool & s
+                if not pool:
+                    return
+        for node in pool:
+            if check_new_binding(graph, pattern, assignment, var, node, bound):
+                assignment[var] = node
+                bound.append(var)
+                extend(i + 1)
+                bound.pop()
+                del assignment[var]
+
+    extend(0)
+    return matches
+
+
+def cn_matches(graph, pattern, distinct=True, profile_index=None):
+    """Find all matches of ``pattern`` in ``graph`` with the CN algorithm."""
+    state = build_cn_state(graph, pattern, profile_index)
+    if any(not c for c in state.candidates.values()):
+        return []
+    matches = extract_matches(graph, pattern, state)
+    if distinct:
+        matches = dedupe_matches(matches)
+    return matches

@@ -1,0 +1,55 @@
+"""Search-order selection for match extraction.
+
+Both CN and GQL extract matches by processing pattern variables in an
+order whose every prefix induces a connected subgraph of the pattern
+(Section III-D).  The heuristic here starts at the variable with the
+smallest candidate set and greedily appends the connected variable with
+the most edges into the prefix (ties broken by candidate-set size, then
+name, for determinism).
+"""
+
+from repro.errors import PatternError
+
+
+def connected_order(pattern, candidate_sizes=None):
+    """Return pattern variables in a connected-prefix order.
+
+    ``candidate_sizes`` maps variables to the size of their candidate
+    set; omitted sizes default to 0 (most constrained first).
+    """
+    pattern.validate()
+    if candidate_sizes is None:
+        candidate_sizes = {}
+
+    def size(var):
+        return candidate_sizes.get(var, 0)
+
+    remaining = set(pattern.nodes)
+    start = min(remaining, key=lambda v: (size(v), -pattern.degree(v), v))
+    order = [start]
+    remaining.discard(start)
+    prefix = {start}
+    while remaining:
+        frontier = []
+        for var in remaining:
+            links = sum(1 for other, _e in pattern.positive_neighbors(var) if other in prefix)
+            if links:
+                frontier.append((links, var))
+        if not frontier:
+            raise PatternError(f"pattern {pattern.name!r} is disconnected")
+        _links, chosen = max(frontier, key=lambda t: (t[0], -size(t[1]), t[1]))
+        order.append(chosen)
+        prefix.add(chosen)
+        remaining.discard(chosen)
+    return order
+
+
+def earlier_neighbors(pattern, order, index):
+    """Positive pattern edges from ``order[index]`` back into the prefix.
+
+    Returns ``[(earlier_var, edge)]`` — the ``v_{j_1} .. v_{j_l}``
+    whose candidate-neighbor sets the CN extraction intersects.
+    """
+    var = order[index]
+    prefix = set(order[:index])
+    return [(other, e) for other, e in pattern.positive_neighbors(var) if other in prefix]

@@ -1,0 +1,343 @@
+"""Pattern graphs (Section II of the paper).
+
+A :class:`Pattern` is a small graph over *variables* (``?A``, ``?B``,
+...).  Each edge may be directed or undirected and may be *negated*
+(``?A!->?C``: the edge must NOT exist in a match).  Nodes may carry a
+label constraint (sugar for the predicate ``?X.LABEL = const``), and the
+pattern may carry arbitrary comparison predicates over node and edge
+attributes.  *Subpatterns* name subsets of the pattern's nodes; the
+census aggregate ``COUNTSP`` restricts the neighborhood-containment test
+to a subpattern's image.
+"""
+
+from collections import Counter, deque
+
+from repro.errors import PatternError
+from repro.matching.predicates import Attr, Comparison, Const
+
+
+class PatternNode:
+    """A pattern variable, optionally constrained to a fixed label."""
+
+    __slots__ = ("name", "label")
+
+    def __init__(self, name, label=None):
+        self.name = name
+        self.label = label
+
+    def __repr__(self):
+        if self.label is None:
+            return f"PatternNode(?{self.name})"
+        return f"PatternNode(?{self.name}:{self.label})"
+
+
+class PatternEdge:
+    """A structural constraint between two pattern variables.
+
+    ``directed`` — the database edge must run from ``u`` to ``v``.
+    ``negated`` — the database edge must be absent (``?A!-?B`` /
+    ``?A!->?B``).
+    """
+
+    __slots__ = ("u", "v", "directed", "negated")
+
+    def __init__(self, u, v, directed=False, negated=False):
+        if u == v:
+            raise PatternError(f"pattern self-loop on ?{u}")
+        self.u = u
+        self.v = v
+        self.directed = bool(directed)
+        self.negated = bool(negated)
+
+    def endpoints(self):
+        return (self.u, self.v)
+
+    def __repr__(self):
+        arrow = "->" if self.directed else "-"
+        bang = "!" if self.negated else ""
+        return f"?{self.u}{bang}{arrow}?{self.v}"
+
+    def unparse(self):
+        return f"{repr(self)};"
+
+
+class Pattern:
+    """A named pattern graph with predicates and subpatterns.
+
+    Build programmatically::
+
+        p = Pattern('triad')
+        p.add_node('A'); p.add_node('B'); p.add_node('C')
+        p.add_edge('A', 'B', directed=True)
+        p.add_edge('B', 'C', directed=True)
+        p.add_edge('A', 'C', directed=True, negated=True)
+        p.add_predicate(Comparison(attr('A', 'LABEL'), '=', attr('B', 'LABEL')))
+        p.add_subpattern('coordinator', ['B'])
+
+    or parse the paper's textual syntax with
+    :func:`repro.lang.parser.parse_pattern`.
+    """
+
+    def __init__(self, name="pattern"):
+        self.name = name
+        self.nodes = {}
+        self.edges = []
+        self.predicates = []
+        self.subpatterns = {}
+        self._distance_cache = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, name, label=None):
+        """Declare variable ``name`` (idempotent; label merges if given)."""
+        node = self.nodes.get(name)
+        if node is None:
+            self.nodes[name] = PatternNode(name, label)
+        elif label is not None:
+            if node.label is not None and node.label != label:
+                raise PatternError(
+                    f"?{name} already labeled {node.label!r}, cannot relabel to {label!r}"
+                )
+            node.label = label
+        self._distance_cache = None
+        return self.nodes[name]
+
+    def add_edge(self, u, v, directed=False, negated=False):
+        self.add_node(u)
+        self.add_node(v)
+        for e in self.edges:
+            if {e.u, e.v} == {u, v} and e.directed == directed and e.negated == negated:
+                if not directed or (e.u, e.v) == (u, v):
+                    return e
+        edge = PatternEdge(u, v, directed=directed, negated=negated)
+        self.edges.append(edge)
+        self._distance_cache = None
+        return edge
+
+    def add_predicate(self, predicate):
+        for var in predicate.variables():
+            if var not in self.nodes:
+                raise PatternError(f"predicate references unknown variable ?{var}")
+        self.predicates.append(predicate)
+        # Fold ``?X.LABEL = const`` into the node's label constraint so
+        # profile filtering can use it.
+        self._try_fold_label(predicate)
+        return predicate
+
+    def _try_fold_label(self, predicate):
+        if not isinstance(predicate, Comparison) or predicate.op not in ("=", "=="):
+            return
+        lhs, rhs = predicate.lhs, predicate.rhs
+        if isinstance(rhs, Attr) and isinstance(lhs, Const):
+            lhs, rhs = rhs, lhs
+        if (
+            isinstance(lhs, Attr)
+            and lhs.attr_name.lower() == "label"
+            and isinstance(rhs, Const)
+        ):
+            node = self.nodes[lhs.var]
+            if node.label is None:
+                node.label = rhs.value
+
+    def add_subpattern(self, name, node_names):
+        missing = [n for n in node_names if n not in self.nodes]
+        if missing:
+            raise PatternError(f"subpattern {name!r} references unknown nodes {missing}")
+        if not node_names:
+            raise PatternError(f"subpattern {name!r} is empty")
+        self.subpatterns[name] = tuple(node_names)
+        return self.subpatterns[name]
+
+    # ------------------------------------------------------------------
+    # Structure queries (over positive edges)
+    # ------------------------------------------------------------------
+    def positive_edges(self):
+        return [e for e in self.edges if not e.negated]
+
+    def negative_edges(self):
+        return [e for e in self.edges if e.negated]
+
+    def positive_neighbors(self, var):
+        """``[(other_var, edge)]`` for positive edges incident to ``var``."""
+        out = []
+        for e in self.positive_edges():
+            if e.u == var:
+                out.append((e.v, e))
+            elif e.v == var:
+                out.append((e.u, e))
+        return out
+
+    def degree(self, var):
+        return len(self.positive_neighbors(var))
+
+    def num_nodes(self):
+        return len(self.nodes)
+
+    def label_of(self, var):
+        return self.nodes[var].label
+
+    def label_profile(self, var):
+        """Counter of *fixed* labels among distinct positive neighbors
+        of ``var``.
+
+        Neighbors without a label constraint contribute nothing here (a
+        database node's matching neighbor could carry any label); the
+        degree check in the matchers covers them.  Parallel edges to the
+        same variable count once — they bind a single database neighbor.
+        """
+        profile = Counter()
+        seen = set()
+        for other, _edge in self.positive_neighbors(var):
+            if other in seen:
+                continue
+            seen.add(other)
+            label = self.nodes[other].label
+            if label is not None:
+                profile[label] += 1
+        return profile
+
+    def distances(self):
+        """All-pairs hop distances over positive edges, direction-blind.
+
+        Cached; used by pivot selection (ND-PVOT) and the distance
+        shortcuts of the pattern-driven algorithms.
+        """
+        if self._distance_cache is None:
+            adjacency = {v: set() for v in self.nodes}
+            for e in self.positive_edges():
+                adjacency[e.u].add(e.v)
+                adjacency[e.v].add(e.u)
+            dists = {}
+            for start in self.nodes:
+                d = {start: 0}
+                queue = deque((start,))
+                while queue:
+                    x = queue.popleft()
+                    for y in adjacency[x]:
+                        if y not in d:
+                            d[y] = d[x] + 1
+                            queue.append(y)
+                dists[start] = d
+            self._distance_cache = dists
+        return self._distance_cache
+
+    def distance(self, u, v):
+        """Hop distance between two pattern variables (``None`` if disconnected)."""
+        return self.distances()[u].get(v)
+
+    def eccentricity(self, var):
+        """max_v d(var, v); raises if the pattern is disconnected."""
+        d = self.distances()[var]
+        if len(d) != len(self.nodes):
+            raise PatternError(f"pattern {self.name!r} is disconnected")
+        return max(d.values())
+
+    def pivot(self):
+        """The min-eccentricity variable (the paper's optimal pivot)."""
+        self.validate()
+        return min(self.nodes, key=lambda v: (self.eccentricity(v), v))
+
+    def radius(self):
+        """Eccentricity of the pivot (``max_v`` in the paper's notation)."""
+        return self.eccentricity(self.pivot())
+
+    def diameter(self):
+        return max(self.eccentricity(v) for v in self.nodes)
+
+    # ------------------------------------------------------------------
+    # Validation & misc
+    # ------------------------------------------------------------------
+    def validate(self):
+        """Raise :class:`PatternError` unless the pattern is well-formed.
+
+        Requirements: at least one node, and the positive edges form a
+        single connected component (the census algorithms rely on
+        connectivity; a disconnected pattern has no well-defined pivot
+        and its matches are cartesian products).
+        """
+        if not self.nodes:
+            raise PatternError(f"pattern {self.name!r} has no nodes")
+        seen = set()
+        start = next(iter(self.nodes))
+        queue = deque((start,))
+        seen.add(start)
+        while queue:
+            x = queue.popleft()
+            for y, _edge in self.positive_neighbors(x):
+                if y not in seen:
+                    seen.add(y)
+                    queue.append(y)
+        if len(seen) != len(self.nodes):
+            missing = sorted(set(self.nodes) - seen)
+            raise PatternError(
+                f"pattern {self.name!r} is disconnected (unreachable: {missing})"
+            )
+        return self
+
+    def single_var_predicates(self, var):
+        """Predicates that reference exactly ``var`` (push-down filters)."""
+        return [p for p in self.predicates if p.variables() == frozenset((var,))]
+
+    def multi_var_predicates(self):
+        """Predicates spanning two or more variables."""
+        return [p for p in self.predicates if len(p.variables()) >= 2]
+
+    def num_automorphisms(self, graph_directed=None):
+        """Number of automorphisms of the pattern's structure + labels.
+
+        Computed by matching the pattern against itself with brute
+        force; used by tests to relate embedding counts to distinct
+        subgraph counts.
+        """
+        from repro.graph.graph import Graph
+        from repro.matching.bruteforce import bruteforce_matches
+
+        directed = any(e.directed for e in self.edges)
+        g = Graph(directed=directed)
+        for name, node in self.nodes.items():
+            g.add_node(name, label=node.label)
+        for e in self.positive_edges():
+            if e.directed:
+                g.add_edge(e.u, e.v)
+            else:
+                g.add_edge(e.u, e.v)
+                if directed:
+                    g.add_edge(e.v, e.u)
+        structural = Pattern(self.name + "_struct")
+        for name, node in self.nodes.items():
+            structural.add_node(name, label=node.label)
+        for e in self.positive_edges():
+            structural.add_edge(e.u, e.v, directed=e.directed)
+        embeddings = bruteforce_matches(g, structural, distinct=False)
+        identity_like = [
+            m
+            for m in embeddings
+            if all(self.nodes[v].label == structural.nodes[v].label for v in m.mapping)
+        ]
+        return max(1, len(identity_like))
+
+    def unparse(self):
+        """Render back into the paper's textual pattern syntax."""
+        lines = [f"PATTERN {self.name} {{"]
+        emitted = set()
+        for e in self.edges:
+            lines.append(f"    {e.unparse()}")
+            emitted.add(e.u)
+            emitted.add(e.v)
+        for name in self.nodes:
+            if name not in emitted:
+                lines.append(f"    ?{name};")
+        for p in self.predicates:
+            lines.append(f"    {p.unparse()};")
+        for name, members in self.subpatterns.items():
+            inner = " ".join(f"?{m};" for m in members)
+            lines.append(f"    SUBPATTERN {name} {{{inner}}}")
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (
+            f"<Pattern {self.name!r} nodes={len(self.nodes)} "
+            f"edges={len(self.edges)} preds={len(self.predicates)}>"
+        )

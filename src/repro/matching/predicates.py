@@ -1,0 +1,202 @@
+"""Predicate expressions attached to pattern graphs.
+
+A predicate is a comparison between two operands, each of which is a
+constant, a node attribute reference ``?A.attr``, or an edge attribute
+reference ``EDGE(?A, ?B).attr``.  Predicates are evaluated against a
+(partial) assignment of pattern variables to database nodes; evaluation
+of a predicate whose variables are not all bound returns ``True`` so
+that matchers can apply predicates incrementally as variables bind.
+"""
+
+import operator
+
+from repro.errors import PatternError
+
+_OPS = {
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class Const:
+    """A literal operand."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def variables(self):
+        return frozenset()
+
+    def evaluate(self, assignment, graph):
+        return self.value
+
+    def __repr__(self):
+        return f"Const({self.value!r})"
+
+    def __eq__(self, other):
+        return isinstance(other, Const) and self.value == other.value
+
+    def __hash__(self):
+        return hash(("const", self.value))
+
+    def unparse(self):
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return repr(self.value)
+
+
+class Attr:
+    """A node attribute reference ``?var.attr``.
+
+    Attribute names are matched case-insensitively against node
+    attributes (the language spells ``LABEL`` in caps; graphs store
+    ``label``).
+    """
+
+    __slots__ = ("var", "attr_name")
+
+    def __init__(self, var, attr_name):
+        self.var = var
+        self.attr_name = attr_name
+
+    def variables(self):
+        return frozenset((self.var,))
+
+    def evaluate(self, assignment, graph):
+        node = assignment[self.var]
+        attrs = graph.node_attrs(node)
+        if self.attr_name in attrs:
+            return attrs[self.attr_name]
+        lowered = self.attr_name.lower()
+        return attrs.get(lowered)
+
+    def __repr__(self):
+        return f"Attr(?{self.var}.{self.attr_name})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Attr)
+            and self.var == other.var
+            and self.attr_name.lower() == other.attr_name.lower()
+        )
+
+    def __hash__(self):
+        return hash(("attr", self.var, self.attr_name.lower()))
+
+    def unparse(self):
+        return f"?{self.var}.{self.attr_name}"
+
+
+class EdgeAttr:
+    """An edge attribute reference ``EDGE(?u, ?v).attr``."""
+
+    __slots__ = ("u", "v", "attr_name")
+
+    def __init__(self, u, v, attr_name):
+        self.u = u
+        self.v = v
+        self.attr_name = attr_name
+
+    def variables(self):
+        return frozenset((self.u, self.v))
+
+    def evaluate(self, assignment, graph):
+        nu, nv = assignment[self.u], assignment[self.v]
+        if graph.has_edge(nu, nv):
+            attrs = graph.edge_attrs(nu, nv)
+        elif graph.directed and graph.has_edge(nv, nu):
+            attrs = graph.edge_attrs(nv, nu)
+        else:
+            return None
+        if self.attr_name in attrs:
+            return attrs[self.attr_name]
+        return attrs.get(self.attr_name.lower())
+
+    def __repr__(self):
+        return f"EdgeAttr(?{self.u}, ?{self.v}, {self.attr_name})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, EdgeAttr)
+            and (self.u, self.v) == (other.u, other.v)
+            and self.attr_name.lower() == other.attr_name.lower()
+        )
+
+    def __hash__(self):
+        return hash(("edgeattr", self.u, self.v, self.attr_name.lower()))
+
+    def unparse(self):
+        return f"EDGE(?{self.u}, ?{self.v}).{self.attr_name}"
+
+
+class Comparison:
+    """``lhs op rhs`` over operands; the predicate unit of a pattern."""
+
+    __slots__ = ("lhs", "op", "rhs")
+
+    def __init__(self, lhs, op, rhs):
+        if op not in _OPS:
+            raise PatternError(f"unknown comparison operator {op!r}")
+        self.lhs = lhs
+        self.op = op
+        self.rhs = rhs
+
+    def variables(self):
+        return self.lhs.variables() | self.rhs.variables()
+
+    def is_ready(self, assignment):
+        """True when all referenced variables are bound."""
+        return all(v in assignment for v in self.variables())
+
+    def evaluate(self, assignment, graph):
+        """Evaluate; unbound variables make the predicate vacuously true."""
+        if not self.is_ready(assignment):
+            return True
+        left = self.lhs.evaluate(assignment, graph)
+        right = self.rhs.evaluate(assignment, graph)
+        try:
+            return bool(_OPS[self.op](left, right))
+        except TypeError:
+            # Comparing incomparable types (e.g. None < 3) fails the
+            # predicate rather than the query.
+            return False
+
+    def __repr__(self):
+        return f"Comparison({self.lhs!r} {self.op} {self.rhs!r})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Comparison)
+            and self.lhs == other.lhs
+            and self.op == other.op
+            and self.rhs == other.rhs
+        )
+
+    def __hash__(self):
+        return hash((self.lhs, self.op, self.rhs))
+
+    def unparse(self):
+        return f"[{self.lhs.unparse()}{self.op}{self.rhs.unparse()}]"
+
+
+def const(value):
+    """Shorthand constructor for a constant operand."""
+    return Const(value)
+
+
+def attr(var, attr_name):
+    """Shorthand constructor for a node attribute operand."""
+    return Attr(var, attr_name)
+
+
+def edge_attr(u, v, attr_name):
+    """Shorthand constructor for an edge attribute operand."""
+    return EdgeAttr(u, v, attr_name)

@@ -1,0 +1,175 @@
+"""Seeded (anchored) matching and embedding revalidation.
+
+Incremental census maintenance needs two primitives:
+
+- :func:`seeded_matches` — all embeddings of a pattern in which given
+  variables are pinned to given nodes (e.g. "all matches that use the
+  edge just inserted", found by pinning each positive pattern edge's
+  endpoints to the new edge's endpoints);
+- :func:`validate_embedding` — recheck one existing embedding against
+  the current graph (edges may have disappeared, negated edges may now
+  exist, labels/attributes may have changed).
+"""
+
+from repro.errors import PatternError
+from repro.graph.graph import LABEL_KEY
+from repro.matching.base import Match, check_new_binding, dedupe_matches, neighbor_set
+from repro.matching.order import earlier_neighbors
+
+
+def validate_embedding(graph, pattern, mapping):
+    """True when ``mapping`` is currently a valid match of ``pattern``."""
+    nodes = list(mapping.values())
+    if len(set(nodes)) != len(nodes):
+        return False
+    for var, node in mapping.items():
+        if not graph.has_node(node):
+            return False
+        want = pattern.label_of(var)
+        if want is not None and graph.node_attr(node, LABEL_KEY) != want:
+            return False
+    for e in pattern.positive_edges():
+        nu, nv = mapping[e.u], mapping[e.v]
+        if e.directed and graph.directed:
+            if not graph.has_edge(nu, nv):
+                return False
+        else:
+            if not (graph.has_edge(nu, nv) or (graph.directed and graph.has_edge(nv, nu))):
+                return False
+    for e in pattern.negative_edges():
+        nu, nv = mapping[e.u], mapping[e.v]
+        if e.directed and graph.directed:
+            if graph.has_edge(nu, nv):
+                return False
+        else:
+            if graph.has_edge(nu, nv) or (graph.directed and graph.has_edge(nv, nu)):
+                return False
+    for p in pattern.predicates:
+        if not p.evaluate(mapping, graph):
+            return False
+    return True
+
+
+def _seeded_order(pattern, seeds):
+    """A variable order starting with the seeded variables, every later
+    prefix connected through positive edges (seeds themselves need not
+    be mutually connected — they are pinned, not searched)."""
+    order = list(seeds)
+    placed = set(order)
+    remaining = set(pattern.nodes) - placed
+    while remaining:
+        frontier = [
+            v for v in remaining
+            if any(o in placed for o, _e in pattern.positive_neighbors(v))
+        ]
+        if not frontier:
+            raise PatternError(
+                "pattern is disconnected from the seeded variables"
+            )
+        chosen = min(frontier)
+        order.append(chosen)
+        placed.add(chosen)
+        remaining.discard(chosen)
+    return order
+
+
+def seeded_matches(graph, pattern, seeds, distinct=False):
+    """All embeddings of ``pattern`` with ``seeds`` (var -> node) pinned.
+
+    The seeded bindings are validated first (labels, injectivity,
+    mutual edges among seeded variables, predicates); the remaining
+    variables are searched by neighbor-set intersection.
+    """
+    pattern.validate()
+    for var in seeds:
+        if var not in pattern.nodes:
+            raise PatternError(f"unknown seed variable ?{var}")
+
+    order = _seeded_order(pattern, seeds)
+    back_edges = [earlier_neighbors(pattern, order, i) for i in range(len(order))]
+    num_seeds = len(seeds)
+
+    # Validate the seeded prefix in one shot: labels, single-var
+    # predicates, mutual structure.
+    assignment = {}
+    bound = []
+    for i, var in enumerate(order[:num_seeds]):
+        node = seeds[var]
+        if not graph.has_node(node):
+            return []
+        want = pattern.label_of(var)
+        if want is not None and graph.node_attr(node, LABEL_KEY) != want:
+            return []
+        probe = {var: node}
+        if not all(p.evaluate(probe, graph)
+                   for p in pattern.single_var_predicates(var)):
+            return []
+        for earlier, edge in back_edges[i]:
+            if node not in neighbor_set(graph, assignment[earlier], earlier, edge):
+                return []
+        if not check_new_binding(graph, pattern, assignment, var, node, bound):
+            return []
+        assignment[var] = node
+        bound.append(var)
+
+    matches = []
+
+    def extend(i):
+        if i == len(order):
+            matches.append(Match(assignment, pattern))
+            return
+        var = order[i]
+        pool = None
+        for earlier, edge in back_edges[i]:
+            s = neighbor_set(graph, assignment[earlier], earlier, edge)
+            pool = set(s) if pool is None else pool & set(s)
+            if not pool:
+                return
+        if pool is None:  # unreachable for connected patterns
+            pool = set(graph.nodes())
+        want = pattern.label_of(var)
+        for node in pool:
+            if want is not None and graph.node_attr(node, LABEL_KEY) != want:
+                continue
+            probe = {var: node}
+            if not all(p.evaluate(probe, graph)
+                       for p in pattern.single_var_predicates(var)):
+                continue
+            if check_new_binding(graph, pattern, assignment, var, node, bound):
+                assignment[var] = node
+                bound.append(var)
+                extend(i + 1)
+                bound.pop()
+                del assignment[var]
+
+    extend(num_seeds)
+    if distinct:
+        matches = dedupe_matches(matches)
+    return matches
+
+
+def matches_using_edge(graph, pattern, u, v):
+    """All embeddings whose image uses the database edge ``(u, v)``.
+
+    Tries every positive pattern edge in both orientations (and the
+    reverse database direction for undirected pattern edges on directed
+    graphs), deduplicating identical embeddings.
+    """
+    seen = {}
+    for e in pattern.positive_edges():
+        orientations = [(u, v), (v, u)]
+        for nu, nv in orientations:
+            for m in seeded_matches(graph, pattern, {e.u: nu, e.v: nv}):
+                key = frozenset(m.mapping.items())
+                seen.setdefault(key, m)
+    return list(seen.values())
+
+
+def matches_using_node(graph, pattern, node):
+    """All embeddings whose image contains ``node``."""
+    seen = {}
+    for var in pattern.nodes:
+        for m in seeded_matches(graph, pattern, {var: node}):
+            key = frozenset(m.mapping.items())
+            seen.setdefault(key, m)
+    return list(seen.values())

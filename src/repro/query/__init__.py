@@ -1,0 +1,6 @@
+"""End-to-end query engine: parse, plan, and execute census queries."""
+
+from repro.query.engine import QueryEngine
+from repro.query.result import ResultTable
+
+__all__ = ["QueryEngine", "ResultTable"]

@@ -1,0 +1,281 @@
+"""The census query engine.
+
+Binds parsed statements to a database graph: PATTERN definitions
+register in the engine's catalog; SELECT statements evaluate their
+WHERE clause to pick focal nodes (or pairs), dispatch each COUNTP /
+COUNTSP aggregate to a census algorithm (chosen by the planner unless
+pinned), and assemble a :class:`repro.query.result.ResultTable`.
+"""
+
+import random
+from itertools import product
+
+from repro.census import census, pairwise_census
+from repro.errors import QueryError
+from repro.lang.ast import Aggregate, ExplainStatement, SelectQuery
+from repro.lang.catalog import PatternCatalog, standard_patterns
+from repro.lang.expressions import evaluate_where, expression_columns
+from repro.lang.parser import parse_query, parse_script
+from repro.matching.pattern import Pattern
+from repro.query.result import ResultTable
+
+
+class QueryEngine:
+    """Executes pattern census statements against one graph.
+
+    Parameters
+    ----------
+    graph:
+        Any object implementing the graph access-path API (an in-memory
+        :class:`repro.graph.Graph` or a :class:`repro.storage.DiskGraph`).
+    catalog:
+        Pattern namespace; defaults to a fresh catalog preloaded with
+        the paper's standard patterns (Figure 3 + Table I basics).
+    seed:
+        Seeds ``RND()`` in WHERE clauses; each ``execute`` call re-seeds
+        so results are reproducible.
+    algorithm:
+        Census algorithm for single-node neighborhoods ('auto' lets the
+        planner pick; see :data:`repro.census.ALGORITHMS`).
+    pairwise_algorithm:
+        'nd' or 'pt' for intersection/union neighborhoods.
+    """
+
+    def __init__(self, graph, catalog=None, seed=0, algorithm="auto",
+                 pairwise_algorithm="nd", matcher="cn", cache=False):
+        self.graph = graph
+        self.catalog = catalog if catalog is not None else PatternCatalog(standard_patterns())
+        self.seed = seed
+        self.algorithm = algorithm
+        self.pairwise_algorithm = pairwise_algorithm
+        self.matcher = matcher
+        # Aggregate-result cache.  Opt-in because it assumes the graph
+        # is not mutated between queries; pattern redefinitions are
+        # handled via the catalog version.
+        self.cache_enabled = bool(cache)
+        self._cache = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def clear_cache(self):
+        """Drop cached aggregate results (call after mutating the graph)."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Statement entry points
+    # ------------------------------------------------------------------
+    def define_pattern(self, pattern):
+        """Register a :class:`Pattern` or parseable PATTERN text."""
+        if isinstance(pattern, str):
+            from repro.lang.parser import parse_pattern
+
+            pattern = parse_pattern(pattern)
+        if not isinstance(pattern, Pattern):
+            raise QueryError(f"cannot register {type(pattern).__name__} as a pattern")
+        return self.catalog.register(pattern)
+
+    def execute_script(self, text):
+        """Run a script of statements.
+
+        Returns one ResultTable per SELECT / EXPLAIN statement (EXPLAIN
+        yields a one-column ``plan`` table).
+        """
+        results = []
+        for statement in parse_script(text):
+            if isinstance(statement, Pattern):
+                self.catalog.register(statement)
+            elif isinstance(statement, ExplainStatement):
+                plan = self.explain(statement.query)
+                results.append(
+                    ResultTable(["plan"], [(line,) for line in plan.splitlines()])
+                )
+            else:
+                results.append(self._execute_select(statement))
+        return results
+
+    def explain(self, query):
+        """Describe the plan for ``query`` without executing it."""
+        from repro.query.explain import explain_query
+
+        return explain_query(self, query)
+
+    def execute(self, query):
+        """Run one SELECT (text or parsed); returns a ResultTable."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        if not isinstance(query, SelectQuery):
+            raise QueryError(f"cannot execute {type(query).__name__}")
+        return self._execute_select(query)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _execute_select(self, query):
+        aliases = [t.alias for t in query.tables]
+        self._validate_references(query, aliases)
+        rng = random.Random(self.seed)
+
+        if query.is_pair_query:
+            bindings = self._pair_bindings(query, aliases, rng)
+        else:
+            bindings = self._node_bindings(query, aliases[0], rng)
+
+        aggregate_values = {}
+        for agg in query.aggregates():
+            aggregate_values[id(agg)] = self._evaluate_aggregate(agg, aliases, bindings)
+
+        columns = []
+        for item in query.columns:
+            if isinstance(item, Aggregate):
+                columns.append(item.output_name)
+            else:
+                columns.append(item.display_name())
+
+        rows = []
+        for binding in bindings:
+            row = []
+            for item in query.columns:
+                if isinstance(item, Aggregate):
+                    row.append(aggregate_values[id(item)][binding])
+                else:
+                    row.append(self._column_value(item, aliases, binding))
+            rows.append(tuple(row))
+
+        table = ResultTable(columns, rows)
+        for order in reversed(query.order_by):
+            table = table.sorted_by(order.key, descending=not order.ascending)
+        if query.limit is not None:
+            table = table.head(query.limit)
+        return table
+
+    def _validate_references(self, query, aliases):
+        known = set(aliases)
+
+        def check(ref):
+            if ref.alias is not None and ref.alias not in known:
+                raise QueryError(
+                    f"unknown table alias {ref.alias!r}; query tables are {aliases}"
+                )
+            if ref.alias is None and len(aliases) > 1:
+                raise QueryError(
+                    f"column {ref.name!r} must be qualified in a pair query"
+                )
+
+        for item in query.columns:
+            if isinstance(item, Aggregate):
+                if item.pattern_name not in self.catalog:
+                    raise QueryError(
+                        f"unknown pattern {item.pattern_name!r}; defined: "
+                        f"{self.catalog.names()}"
+                    )
+                pattern = self.catalog.get(item.pattern_name)
+                if item.subpattern_name is not None:
+                    if item.subpattern_name not in pattern.subpatterns:
+                        raise QueryError(
+                            f"pattern {item.pattern_name!r} has no subpattern "
+                            f"{item.subpattern_name!r}"
+                        )
+                hood = item.neighborhood
+                if hood.kind == "subgraph" and query.is_pair_query:
+                    pass  # allowed: census over one side of the pair
+                if hood.kind != "subgraph" and not query.is_pair_query:
+                    raise QueryError(
+                        f"{hood.kind} neighborhoods require a pair query "
+                        "(FROM nodes AS n1, nodes AS n2)"
+                    )
+                for target in hood.targets:
+                    check(target)
+            else:
+                check(item)
+        if query.where is not None:
+            for ref in expression_columns(query.where):
+                check(ref)
+        for order in query.order_by:
+            pass  # order keys are validated against output columns at sort time
+
+    def _node_bindings(self, query, alias, rng):
+        out = []
+        for node in self.graph.nodes():
+            if evaluate_where(query.where, self.graph, {alias: node}, rng):
+                out.append((node,))
+        return out
+
+    def _pair_bindings(self, query, aliases, rng):
+        a1, a2 = aliases
+        out = []
+        nodes = list(self.graph.nodes())
+        for n1, n2 in product(nodes, nodes):
+            if evaluate_where(query.where, self.graph, {a1: n1, a2: n2}, rng):
+                out.append((n1, n2))
+        return out
+
+    def _column_value(self, ref, aliases, binding):
+        node = binding[self._alias_position(ref, aliases)]
+        if ref.is_id:
+            return node
+        attrs = self.graph.node_attrs(node)
+        if ref.name in attrs:
+            return attrs[ref.name]
+        return attrs.get(ref.name.lower())
+
+    def _alias_position(self, ref, aliases):
+        if ref.alias is None:
+            return 0
+        return aliases.index(ref.alias)
+
+    def _evaluate_aggregate(self, agg, aliases, bindings):
+        """Map each row binding to its aggregate count."""
+        pattern = self.catalog.get(agg.pattern_name)
+        hood = agg.neighborhood
+
+        if hood.kind == "subgraph":
+            target = hood.targets[0]
+            pos = self._alias_position(target, aliases)
+            focal = {binding[pos] for binding in bindings}
+            counts = self._cached(
+                ("subgraph", agg.pattern_name, agg.subpattern_name, hood.k,
+                 self.algorithm, frozenset(focal)),
+                lambda: census(
+                    self.graph,
+                    pattern,
+                    hood.k,
+                    focal_nodes=sorted(focal, key=repr),
+                    subpattern=agg.subpattern_name,
+                    algorithm=self.algorithm,
+                    matcher=self.matcher,
+                ),
+            )
+            return {binding: counts[binding[pos]] for binding in bindings}
+
+        pos1 = self._alias_position(hood.targets[0], aliases)
+        pos2 = self._alias_position(hood.targets[1], aliases)
+        pairs = sorted({(b[pos1], b[pos2]) for b in bindings}, key=repr)
+        counts = self._cached(
+            (hood.kind, agg.pattern_name, agg.subpattern_name, hood.k,
+             self.pairwise_algorithm, frozenset(pairs)),
+            lambda: pairwise_census(
+                self.graph,
+                pattern,
+                hood.k,
+                pairs=pairs,
+                mode=hood.kind,
+                subpattern=agg.subpattern_name,
+                algorithm=self.pairwise_algorithm,
+                matcher=self.matcher,
+            ),
+        )
+        return {b: counts[(b[pos1], b[pos2])] for b in bindings}
+
+    def _cached(self, key, compute):
+        if not self.cache_enabled:
+            return compute()
+        key = key + (self.catalog.version,)
+        try:
+            value = self._cache[key]
+            self.cache_hits += 1
+            return value
+        except KeyError:
+            self.cache_misses += 1
+            value = compute()
+            self._cache[key] = value
+            return value

@@ -1,0 +1,88 @@
+"""Query plan explanation.
+
+``explain`` renders what the engine *would* do for a SELECT: how focal
+rows are produced, which census algorithm the planner picks per
+aggregate and why, and the statistics that informed the choice.  Used
+by ``QueryEngine.explain`` and the CLI.
+"""
+
+from repro.census.planner import choose_algorithm
+from repro.lang.ast import Aggregate
+from repro.query.statistics import GraphStatistics
+
+
+def explain_query(engine, query):
+    """Return a human-readable plan for ``query`` on ``engine``."""
+    if isinstance(query, str):
+        from repro.lang.parser import parse_query
+
+        query = parse_query(query)
+
+    stats = GraphStatistics(engine.graph)
+    lines = []
+    if query.is_pair_query:
+        aliases = ", ".join(t.alias for t in query.tables)
+        lines.append(
+            f"SCAN pairs ({aliases}): cross product of {stats.num_nodes} nodes"
+            f"{' filtered by WHERE' if query.where is not None else ''}"
+        )
+    else:
+        alias = query.tables[0].alias
+        lines.append(
+            f"SCAN nodes ({alias}): {stats.num_nodes} nodes"
+            f"{' filtered by WHERE' if query.where is not None else ''}"
+        )
+
+    for item in query.columns:
+        if not isinstance(item, Aggregate):
+            continue
+        pattern = engine.catalog.get(item.pattern_name)
+        hood = item.neighborhood
+        if hood.kind == "subgraph":
+            if engine.algorithm == "auto":
+                algorithm = choose_algorithm(engine.graph, pattern, hood.k)
+                reason = _planner_reason(engine.graph, pattern, algorithm)
+            else:
+                algorithm = engine.algorithm
+                reason = "pinned by engine configuration"
+            lines.append(
+                f"CENSUS {item.output_name}: pattern={pattern.name} "
+                f"({len(pattern.nodes)} vars, {len(pattern.positive_edges())} edges, "
+                f"{len(pattern.negative_edges())} negated, "
+                f"{len(pattern.predicates)} predicates), k={hood.k}, "
+                f"algorithm={algorithm} [{reason}]"
+            )
+        else:
+            lines.append(
+                f"PAIRWISE CENSUS {item.output_name}: pattern={pattern.name}, "
+                f"{hood.kind} of k={hood.k} neighborhoods, "
+                f"strategy={engine.pairwise_algorithm}"
+            )
+        if item.subpattern_name:
+            members = pattern.subpatterns[item.subpattern_name]
+            lines.append(
+                f"  SUBPATTERN {item.subpattern_name}: containment restricted "
+                f"to {{{', '.join('?' + m for m in members)}}}"
+            )
+
+    if query.order_by:
+        keys = ", ".join(
+            f"{o.key} {'ASC' if o.ascending else 'DESC'}" for o in query.order_by
+        )
+        lines.append(f"SORT BY {keys}")
+    if query.limit is not None:
+        lines.append(f"LIMIT {query.limit}")
+    lines.append(
+        f"GRAPH: {stats.num_nodes} nodes, {stats.num_edges} edges, "
+        f"{stats.num_labels} labels, avg degree {stats.avg_degree:.1f}"
+    )
+    return "\n".join(lines)
+
+
+def _planner_reason(graph, pattern, algorithm):
+    from repro.census.planner import estimate_matches
+
+    expected = estimate_matches(graph, pattern)
+    if algorithm == "pt-opt":
+        return f"~{expected:.0f} expected matches -> pattern-driven"
+    return f"~{expected:.0f} expected matches -> node-driven pivot index"

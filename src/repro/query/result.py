@@ -1,0 +1,111 @@
+"""Tabular query results."""
+
+import csv
+import json
+
+from repro.errors import QueryError
+
+
+class ResultTable:
+    """An ordered, named-column table of query results.
+
+    Rows are tuples aligned with ``columns``.  Provides the small set of
+    operations the examples and benchmarks need: column access, sorting,
+    top-k, and plain-text rendering.
+    """
+
+    def __init__(self, columns, rows):
+        self.columns = list(columns)
+        self.rows = [tuple(r) for r in rows]
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise QueryError(
+                    f"row width {len(row)} does not match {len(self.columns)} columns"
+                )
+
+    def column_index(self, name):
+        lowered = name.lower()
+        for i, col in enumerate(self.columns):
+            if col.lower() == lowered:
+                return i
+        raise QueryError(f"no column {name!r}; columns are {self.columns}")
+
+    def column(self, name):
+        """All values of one column, in row order."""
+        i = self.column_index(name)
+        return [row[i] for row in self.rows]
+
+    def to_dicts(self):
+        """Rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def sorted_by(self, name, descending=False):
+        i = self.column_index(name)
+        rows = sorted(self.rows, key=lambda r: r[i], reverse=descending)
+        return ResultTable(self.columns, rows)
+
+    def top(self, n, by):
+        """The ``n`` rows with the largest values of column ``by``."""
+        return ResultTable(self.columns, self.sorted_by(by, descending=True).rows[:n])
+
+    def head(self, n):
+        return ResultTable(self.columns, self.rows[:n])
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __getitem__(self, i):
+        return self.rows[i]
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, ResultTable)
+            and self.columns == other.columns
+            and self.rows == other.rows
+        )
+
+    def to_csv(self, path):
+        """Write the table as CSV with a header row."""
+        with open(path, "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(self.columns)
+            writer.writerows(self.rows)
+
+    def to_json(self, path=None):
+        """Serialize as ``{"columns": [...], "rows": [...]}``; returns
+        the JSON string, also writing it to ``path`` when given."""
+        text = json.dumps({"columns": self.columns, "rows": [list(r) for r in self.rows]})
+        if path is not None:
+            with open(path, "w") as f:
+                f.write(text)
+        return text
+
+    @classmethod
+    def from_json(cls, text):
+        doc = json.loads(text)
+        return cls(doc["columns"], [tuple(r) for r in doc["rows"]])
+
+    def render(self, max_rows=20):
+        """Fixed-width text rendering (truncated at ``max_rows`` rows)."""
+        shown = self.rows[:max_rows]
+        cells = [[str(c) for c in self.columns]]
+        cells.extend([str(v) for v in row] for row in shown)
+        widths = [max(len(r[i]) for r in cells) for i in range(len(self.columns))]
+        lines = []
+        header = "  ".join(c.ljust(w) for c, w in zip(cells[0], widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells[1:]:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+    def __str__(self):
+        return self.render()
+
+    def __repr__(self):
+        return f"<ResultTable columns={self.columns} rows={len(self.rows)}>"

@@ -1,0 +1,44 @@
+"""Graph statistics used for planning and benchmark reporting."""
+
+from collections import Counter
+
+from repro.graph.graph import LABEL_KEY
+
+
+class GraphStatistics:
+    """Cheap one-pass summary of a database graph."""
+
+    def __init__(self, graph):
+        self.num_nodes = graph.num_nodes
+        self.num_edges = graph.num_edges
+        degrees = [graph.degree(n) for n in graph.nodes()]
+        self.max_degree = max(degrees, default=0)
+        self.avg_degree = (sum(degrees) / len(degrees)) if degrees else 0.0
+        self.label_histogram = Counter(
+            graph.node_attr(n, LABEL_KEY) for n in graph.nodes()
+        )
+        self.directed = graph.directed
+
+    @property
+    def num_labels(self):
+        return len(self.label_histogram)
+
+    def label_selectivity(self, label):
+        """Fraction of nodes carrying ``label`` (0.0 when absent)."""
+        if not self.num_nodes:
+            return 0.0
+        return self.label_histogram.get(label, 0) / self.num_nodes
+
+    def summary(self):
+        return {
+            "nodes": self.num_nodes,
+            "edges": self.num_edges,
+            "avg_degree": round(self.avg_degree, 2),
+            "max_degree": self.max_degree,
+            "labels": self.num_labels,
+            "directed": self.directed,
+        }
+
+    def __repr__(self):
+        inner = ", ".join(f"{k}={v}" for k, v in self.summary().items())
+        return f"<GraphStatistics {inner}>"

@@ -1,0 +1,24 @@
+"""Disk-resident adjacency-list graph storage.
+
+The paper's prototype runs on a disk-based graph engine (Neo4j) and its
+algorithms "operate on a disk-resident adjacency-list graph
+representation".  This package is that substrate:
+
+- :mod:`repro.storage.pager` — fixed-size pages over a single file with
+  a checksummed header,
+- :mod:`repro.storage.cache` — an LRU buffer pool with dirty-page
+  write-back and hit/miss statistics,
+- :mod:`repro.storage.records` — length-prefixed record log on top of
+  the pager (records may span pages) with a JSON codec,
+- :mod:`repro.storage.engine` — :class:`DiskGraph`, an append-only
+  (shadow-directory) node store implementing the same access-path API
+  as :class:`repro.graph.Graph`, so every matcher and census algorithm
+  runs unchanged on disk-backed graphs.
+"""
+
+from repro.storage.cache import LRUPageCache
+from repro.storage.engine import DiskGraph
+from repro.storage.pager import PAGE_SIZE, Pager
+from repro.storage.records import RecordLog
+
+__all__ = ["DiskGraph", "Pager", "PAGE_SIZE", "LRUPageCache", "RecordLog"]

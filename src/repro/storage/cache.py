@@ -1,0 +1,73 @@
+"""LRU buffer pool over a :class:`repro.storage.pager.Pager`.
+
+Pages are cached as mutable ``bytearray`` buffers.  Dirty pages are
+written back on eviction and on ``flush``.  Hit/miss/eviction counters
+are kept so storage benchmarks can report cache effectiveness.
+"""
+
+from collections import OrderedDict
+
+from repro.storage.pager import PAGE_SIZE
+
+
+class LRUPageCache:
+    """Bounded page cache with write-back semantics."""
+
+    def __init__(self, pager, capacity=256):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.pager = pager
+        self.capacity = capacity
+        self._pages = OrderedDict()  # page_no -> bytearray
+        self._dirty = set()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, page_no):
+        """Fetch a page buffer, reading from disk on a miss."""
+        page = self._pages.get(page_no)
+        if page is not None:
+            self.hits += 1
+            self._pages.move_to_end(page_no)
+            return page
+        self.misses += 1
+        page = bytearray(self.pager.read_page(page_no))
+        self._insert(page_no, page)
+        return page
+
+    def mark_dirty(self, page_no):
+        self._dirty.add(page_no)
+
+    def _insert(self, page_no, page):
+        self._pages[page_no] = page
+        self._pages.move_to_end(page_no)
+        while len(self._pages) > self.capacity:
+            old_no, old_page = self._pages.popitem(last=False)
+            self.evictions += 1
+            if old_no in self._dirty:
+                self.pager.write_page(old_no, bytes(old_page))
+                self._dirty.discard(old_no)
+
+    def flush(self):
+        """Write back every dirty page (cache contents are kept)."""
+        for page_no in sorted(self._dirty):
+            self.pager.write_page(page_no, bytes(self._pages[page_no]))
+        self._dirty.clear()
+
+    def stats(self):
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "resident": len(self._pages),
+            "capacity": self.capacity,
+        }
+
+    def __len__(self):
+        return len(self._pages)
+
+
+def page_span(offset, length):
+    """The (first_page, last_page) touched by ``length`` bytes at ``offset``."""
+    return offset // PAGE_SIZE, (offset + max(length, 1) - 1) // PAGE_SIZE

@@ -1,0 +1,104 @@
+"""Fixed-size page I/O over a single file.
+
+Page 0 is the header: magic, format version, page size, a directed
+flag, the end-of-log offset, and the offset of the most recently
+committed directory record (see :mod:`repro.storage.engine`).  All
+multi-byte integers are little-endian, fixed-width — the file format is
+platform-independent.
+"""
+
+import os
+import struct
+
+from repro.errors import StorageError
+
+PAGE_SIZE = 4096
+MAGIC = b"EGOCENSUS1"
+_HEADER = struct.Struct("<10sHIQQB")  # magic, version, page_size, log_end, dir_offset, directed
+FORMAT_VERSION = 1
+
+
+class Pager:
+    """Reads and writes fixed-size pages of a graph store file."""
+
+    def __init__(self, path, create=False, directed=False):
+        self.path = os.fspath(path)
+        mode = "w+b" if create else "r+b"
+        try:
+            self._file = open(self.path, mode)
+        except OSError as exc:
+            raise StorageError(f"cannot open {self.path!r}: {exc}") from exc
+        if create:
+            self.log_end = PAGE_SIZE  # data begins after the header page
+            self.dir_offset = 0  # 0 = no directory committed yet
+            self.directed = directed
+            self.write_header()
+        else:
+            self._read_header()
+
+    # ------------------------------------------------------------------
+    # Header
+    # ------------------------------------------------------------------
+    def write_header(self):
+        header = _HEADER.pack(
+            MAGIC, FORMAT_VERSION, PAGE_SIZE, self.log_end, self.dir_offset,
+            1 if self.directed else 0,
+        )
+        page = header + b"\x00" * (PAGE_SIZE - len(header))
+        self._file.seek(0)
+        self._file.write(page)
+        self._file.flush()
+
+    def _read_header(self):
+        self._file.seek(0)
+        raw = self._file.read(_HEADER.size)
+        if len(raw) < _HEADER.size:
+            raise StorageError(f"{self.path!r} is not a graph store (truncated header)")
+        magic, version, page_size, log_end, dir_offset, directed = _HEADER.unpack(raw)
+        if magic != MAGIC:
+            raise StorageError(f"{self.path!r} is not a graph store (bad magic)")
+        if version != FORMAT_VERSION:
+            raise StorageError(f"unsupported store version {version}")
+        if page_size != PAGE_SIZE:
+            raise StorageError(f"store page size {page_size} != {PAGE_SIZE}")
+        self.log_end = log_end
+        self.dir_offset = dir_offset
+        self.directed = bool(directed)
+
+    # ------------------------------------------------------------------
+    # Page I/O
+    # ------------------------------------------------------------------
+    def read_page(self, page_no):
+        """Return the ``PAGE_SIZE`` bytes of page ``page_no`` (zero-padded
+        past end-of-file)."""
+        self._file.seek(page_no * PAGE_SIZE)
+        data = self._file.read(PAGE_SIZE)
+        if len(data) < PAGE_SIZE:
+            data = data + b"\x00" * (PAGE_SIZE - len(data))
+        return data
+
+    def write_page(self, page_no, data):
+        if len(data) != PAGE_SIZE:
+            raise StorageError(f"page must be exactly {PAGE_SIZE} bytes, got {len(data)}")
+        self._file.seek(page_no * PAGE_SIZE)
+        self._file.write(data)
+
+    def num_pages(self):
+        self._file.seek(0, os.SEEK_END)
+        size = self._file.tell()
+        return (size + PAGE_SIZE - 1) // PAGE_SIZE
+
+    def sync(self):
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self):
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()

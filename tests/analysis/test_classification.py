@@ -1,0 +1,93 @@
+"""Tests for census-based node classification."""
+
+import random
+
+import pytest
+
+from repro.analysis.classification import (
+    classification_accuracy,
+    collective_classify,
+    neighbor_label_counts,
+)
+from repro.graph.generators import stochastic_block_model
+from repro.graph.graph import Graph
+
+
+def homophilous_graph(seed=0, hide_fraction=0.3):
+    """SBM with two blocks; block id is the class; a fraction hidden."""
+    g = stochastic_block_model([25, 25], p_in=0.3, p_out=0.02, seed=seed)
+    truth = {}
+    rng = random.Random(seed + 1)
+    for n in g.nodes():
+        cls = f"c{g.node_attr(n, 'block')}"
+        truth[n] = cls
+        if rng.random() < hide_fraction:
+            g.set_node_attr(n, "cls", None)
+        else:
+            g.set_node_attr(n, "cls", cls)
+    return g, truth
+
+
+class TestNeighborCounts:
+    def test_counts_labeled_alters(self):
+        g = Graph()
+        g.add_node(1, cls=None)
+        g.add_node(2, cls="a")
+        g.add_node(3, cls="a")
+        g.add_node(4, cls="b")
+        for v in (2, 3, 4):
+            g.add_edge(1, v)
+        counts = neighbor_label_counts(g, ["a", "b"], nodes=[1])
+        assert counts[1] == {"a": 2, "b": 1}
+
+    def test_k2_horizon(self):
+        g = Graph()
+        g.add_node(1, cls=None)
+        g.add_node(2, cls=None)
+        g.add_node(3, cls="a")
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        near = neighbor_label_counts(g, ["a"], nodes=[1], k=1)
+        far = neighbor_label_counts(g, ["a"], nodes=[1], k=2)
+        assert near[1]["a"] == 0
+        assert far[1]["a"] == 1
+
+    def test_empty_classes(self):
+        g = Graph()
+        g.add_node(1)
+        assert neighbor_label_counts(g, [], nodes=[1]) == {}
+
+
+class TestCollectiveClassification:
+    def test_recovers_planted_classes(self):
+        g, truth = homophilous_graph(seed=3)
+        predictions = collective_classify(g, ["c0", "c1"])
+        assert predictions  # something was classified
+        assert classification_accuracy(predictions, truth) > 0.85
+
+    def test_updates_graph_in_place(self):
+        g, _truth = homophilous_graph(seed=4)
+        predictions = collective_classify(g, ["c0", "c1"])
+        for n, cls in predictions.items():
+            assert g.node_attr(n, "cls") == cls
+
+    def test_isolated_node_stays_unassigned(self):
+        g = Graph()
+        g.add_node(1, cls="a")
+        g.add_node(2, cls=None)  # isolated
+        predictions = collective_classify(g, ["a"])
+        assert 2 not in predictions
+
+    def test_propagation_reaches_chains(self):
+        # a - ? - ? : the middle gets labeled round 1, the end round 2.
+        g = Graph()
+        g.add_node(1, cls="a")
+        g.add_node(2, cls=None)
+        g.add_node(3, cls=None)
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        predictions = collective_classify(g, ["a"], max_rounds=3)
+        assert predictions == {2: "a", 3: "a"}
+
+    def test_accuracy_empty(self):
+        assert classification_accuracy({}, {}) == 0.0

@@ -1,0 +1,116 @@
+"""Tests for the link prediction harness."""
+
+import pytest
+
+from repro.analysis.linkprediction import (
+    LinkPredictionExperiment,
+    jaccard_scores,
+    precision_at_k,
+    random_scores,
+    structure_pattern,
+    structure_scores,
+)
+from repro.graph.graph import Graph
+
+
+class TestStructurePatterns:
+    def test_three_structures(self):
+        assert len(structure_pattern("node").nodes) == 1
+        assert len(structure_pattern("edge").positive_edges()) == 1
+        assert len(structure_pattern("triangle").positive_edges()) == 3
+
+    def test_unknown_structure(self):
+        with pytest.raises(ValueError):
+            structure_pattern("pentagon")
+
+
+class TestPrecisionAtK:
+    def test_perfect_predictor(self):
+        scores = {(1, 2): 0.9, (3, 4): 0.8, (5, 6): 0.1}
+        truth = {(1, 2), (3, 4)}
+        assert precision_at_k(scores, truth, 2) == 1.0
+
+    def test_zero_predictor(self):
+        scores = {(1, 2): 0.9}
+        assert precision_at_k(scores, {(7, 8)}, 1) == 0.0
+
+    def test_order_insensitive_pairs(self):
+        scores = {(2, 1): 1.0}
+        assert precision_at_k(scores, {(1, 2)}, 1) == 1.0
+
+    def test_k_larger_than_scores(self):
+        scores = {(1, 2): 1.0}
+        assert precision_at_k(scores, {(1, 2)}, 10) == 1.0
+
+    def test_empty_scores(self):
+        assert precision_at_k({}, {(1, 2)}, 5) == 0.0
+
+    def test_deterministic_tie_breaking(self):
+        scores = {(1, 2): 1.0, (3, 4): 1.0, (5, 6): 1.0}
+        truth = {(1, 2)}
+        assert precision_at_k(scores, truth, 1) == precision_at_k(scores, truth, 1)
+
+
+class TestScores:
+    @pytest.fixture
+    def g(self):
+        # 1 and 2 share two common neighbors (3, 4), which are connected.
+        g = Graph()
+        for u, v in [(1, 3), (1, 4), (2, 3), (2, 4), (3, 4), (5, 6)]:
+            g.add_edge(u, v)
+        return g
+
+    def test_node_scores_count_common_neighborhood(self, g):
+        scores = structure_scores(g, [(1, 2), (1, 5)], "node", 1)
+        assert scores[(1, 2)] == 2  # nodes 3 and 4
+        assert scores[(1, 5)] == 0
+
+    def test_edge_scores(self, g):
+        scores = structure_scores(g, [(1, 2)], "edge", 1)
+        assert scores[(1, 2)] == 1  # the 3-4 edge
+
+    def test_triangle_scores_radius2(self, g):
+        scores = structure_scores(g, [(1, 2)], "triangle", 2)
+        assert scores[(1, 2)] >= 1
+
+    def test_jaccard_scores_bounds(self, g):
+        scores = jaccard_scores(g, [(1, 2), (5, 6)])
+        assert all(0 <= v <= 1 for v in scores.values())
+
+    def test_random_scores_deterministic(self):
+        pairs = [(1, 2), (3, 4)]
+        assert random_scores(pairs, seed=1) == random_scores(pairs, seed=1)
+
+
+class TestExperiment:
+    def test_report_structure(self):
+        g = Graph()
+        for u, v in [(1, 3), (2, 3), (1, 4), (2, 4), (5, 3)]:
+            g.add_edge(u, v)
+        exp = LinkPredictionExperiment(g, {(1, 2)}, [(1, 2), (1, 5), (2, 5)])
+        rows = exp.report(ks=(1, 2))
+        names = [name for name, _p in rows]
+        assert "node@2hop" in names and "jaccard" in names and "random" in names
+        assert len(rows) == 11
+        for _name, precisions in rows:
+            assert set(precisions) == {1, 2}
+            assert all(0.0 <= v <= 1.0 for v in precisions.values())
+
+    def test_planted_signal_is_found(self):
+        # Pairs with many common neighbors are the future links.
+        g = Graph()
+        # hub structure: (1,2) share 3 neighbors; (7,8) share none.
+        for c in (3, 4, 5):
+            g.add_edge(1, c)
+            g.add_edge(2, c)
+        g.add_edge(7, 3)
+        g.add_edge(8, 6)
+        exp = LinkPredictionExperiment(g, {(1, 2)}, [(1, 2), (7, 8)])
+        assert exp.precision(("node", 1), 1) == 1.0
+
+    def test_scores_cached(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        exp = LinkPredictionExperiment(g, set(), [(1, 2)])
+        a = exp.scores(("node", 1))
+        assert exp.scores(("node", 1)) is a

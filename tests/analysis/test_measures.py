@@ -1,0 +1,96 @@
+"""Tests that classic ego measures computed via census queries match
+their direct combinatorial definitions."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.measures import (
+    clustering_coefficient,
+    clustering_coefficient_via_census,
+    degree_via_census,
+    jaccard_coefficient,
+    jaccard_via_census,
+    k_clustering_coefficient,
+)
+from repro.graph.generators import erdos_renyi, preferential_attachment
+from repro.graph.graph import Graph
+
+
+class TestDegree:
+    def test_degree_census_equals_direct(self):
+        g = preferential_attachment(60, m=2, seed=1)
+        via = degree_via_census(g)
+        assert via == {n: g.degree(n) for n in g.nodes()}
+
+    def test_isolated_node(self):
+        g = Graph()
+        g.add_node(1)
+        assert degree_via_census(g) == {1: 0}
+
+    @given(st.integers(5, 40), st.integers(0, 100))
+    def test_property(self, n, seed):
+        g = erdos_renyi(n, min(2 * n, n * (n - 1) // 2), seed=seed)
+        assert degree_via_census(g) == {x: g.degree(x) for x in g.nodes()}
+
+
+class TestClustering:
+    def test_triangle_is_fully_clustered(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        g.add_edge(1, 3)
+        assert clustering_coefficient(g, 1) == 1.0
+
+    def test_star_has_zero(self):
+        g = Graph()
+        for i in range(1, 5):
+            g.add_edge(0, i)
+        assert clustering_coefficient(g, 0) == 0.0
+
+    def test_low_degree_zero(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        assert clustering_coefficient(g, 1) == 0.0
+
+    @settings(max_examples=20)
+    @given(st.integers(6, 30), st.integers(0, 100))
+    def test_census_equals_direct(self, n, seed):
+        g = preferential_attachment(n, m=2, seed=seed)
+        via = clustering_coefficient_via_census(g)
+        for node in g.nodes():
+            assert abs(via[node] - clustering_coefficient(g, node)) < 1e-12
+
+    def test_k_clustering_k1_relates_to_local(self):
+        g = preferential_attachment(30, m=2, seed=3)
+        for node in list(g.nodes())[:10]:
+            k1 = k_clustering_coefficient(g, node, 1)
+            assert 0.0 <= k1 <= 1.0
+
+
+class TestJaccard:
+    def test_identical_neighborhoods(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        # N_1(1) = {1,2}, N_1(2) = {1,2} -> jaccard 1.0
+        assert jaccard_coefficient(g, 1, 2) == 1.0
+
+    def test_disjoint_components(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(3, 4)
+        assert jaccard_coefficient(g, 1, 3) == 0.0
+
+    @settings(max_examples=15)
+    @given(st.integers(6, 24), st.integers(1, 2), st.integers(0, 100))
+    def test_census_equals_direct(self, n, radius, seed):
+        g = preferential_attachment(n, m=2, seed=seed)
+        pairs = [(0, 1), (1, 2), (0, n - 1)]
+        via = jaccard_via_census(g, pairs, radius=radius)
+        for pair in pairs:
+            direct = jaccard_coefficient(g, pair[0], pair[1], radius)
+            assert abs(via[pair] - direct) < 1e-12
+
+    def test_bounds(self):
+        g = preferential_attachment(40, m=3, seed=5)
+        vals = jaccard_via_census(g, [(0, 1), (2, 3)], radius=1)
+        assert all(0.0 <= v <= 1.0 for v in vals.values())

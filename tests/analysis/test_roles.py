@@ -1,0 +1,90 @@
+"""Tests for structural role extraction."""
+
+import pytest
+
+from repro.analysis.roles import census_feature_vectors, extract_roles, role_summary
+from repro.errors import CensusError
+from repro.graph.graph import Graph
+from repro.matching.pattern import Pattern
+
+
+def star_of_stars():
+    """A hub connected to satellite hubs, each with leaves: three clear
+    structural roles (center, satellite, leaf)."""
+    g = Graph()
+    node = 1
+    satellites = []
+    for _ in range(4):
+        sat = node
+        node += 1
+        g.add_edge(0, sat)
+        satellites.append(sat)
+        for _ in range(4):
+            g.add_edge(sat, node)
+            node += 1
+    return g, satellites
+
+
+class TestFeatureVectors:
+    def test_custom_queries(self):
+        g, _sats = star_of_stars()
+        edge = Pattern("edge")
+        edge.add_edge("A", "B")
+        tri = Pattern("tri")
+        tri.add_edge("A", "B")
+        tri.add_edge("B", "C")
+        tri.add_edge("A", "C")
+        vectors = census_feature_vectors(g, [(edge, 1), (tri, 1)])
+        assert all(len(v) == 2 for v in vectors.values())
+        # Edge count in a leaf's 1-hop net is exactly 1; no triangles.
+        leaf = max(g.nodes())
+        assert vectors[leaf] == (1, 0)
+
+    def test_subpattern_feature(self):
+        g, _sats = star_of_stars()
+        path = Pattern("path")
+        path.add_edge("A", "B")
+        path.add_edge("B", "C")
+        path.add_subpattern("center", ["B"])
+        vectors = census_feature_vectors(g, [(path, 0, "center")])
+        # The root has degree 4 -> C(4,2)=6 centered wedges.
+        assert vectors[0] == (6,)
+
+    def test_requires_queries(self):
+        g, _sats = star_of_stars()
+        with pytest.raises(CensusError):
+            census_feature_vectors(g, [])
+
+
+class TestRoleExtraction:
+    def test_separates_leaves_from_hubs(self):
+        g, satellites = star_of_stars()
+        roles = extract_roles(g, num_roles=2, seed=1)
+        leaves = [n for n in g.nodes() if g.degree(n) == 1]
+        leaf_roles = {roles[n] for n in leaves}
+        assert len(leaf_roles) == 1  # all leaves share a role
+        sat_roles = {roles[s] for s in satellites}
+        assert len(sat_roles) == 1
+        assert leaf_roles != sat_roles
+
+    def test_role_count_bounded(self):
+        g, _sats = star_of_stars()
+        roles = extract_roles(g, num_roles=3, seed=2)
+        assert set(roles) == set(g.nodes())
+        assert max(roles.values()) <= 2
+
+    def test_invalid_role_count(self):
+        g, _sats = star_of_stars()
+        with pytest.raises(CensusError):
+            extract_roles(g, num_roles=0)
+
+    def test_summary(self):
+        g, _sats = star_of_stars()
+        roles = extract_roles(g, num_roles=2, seed=1)
+        summary = role_summary(g, roles)
+        assert sum(e["size"] for e in summary.values()) == g.num_nodes
+        assert all(e["mean_degree"] > 0 for e in summary.values())
+
+    def test_deterministic(self):
+        g, _sats = star_of_stars()
+        assert extract_roles(g, 3, seed=5) == extract_roles(g, 3, seed=5)

@@ -1,0 +1,93 @@
+"""Tests for census-based node signatures (graph-indexing application)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.signatures import SignatureIndex, default_basis
+from repro.graph.generators import labeled_preferential_attachment, preferential_attachment
+from repro.graph.graph import Graph
+from repro.matching import bruteforce_matches
+from repro.matching.pattern import Pattern
+
+
+def triangle():
+    p = Pattern("tri")
+    p.add_edge("A", "B")
+    p.add_edge("B", "C")
+    p.add_edge("A", "C")
+    return p
+
+
+def square():
+    p = Pattern("sqr")
+    p.add_edge("A", "B")
+    p.add_edge("B", "C")
+    p.add_edge("C", "D")
+    p.add_edge("D", "A")
+    return p
+
+
+class TestSignatures:
+    def test_signature_components(self):
+        # A triangle node: 3 edges, 3 wedges, 1 triangle in its 1-hop net.
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        g.add_edge(1, 3)
+        index = SignatureIndex(g)
+        assert index.signature(1) == (3, 3, 1)
+
+    def test_default_basis_patterns(self):
+        names = [b.name for b in default_basis()]
+        assert names == ["sig_edge", "sig_wedge", "sig_triangle"]
+
+    def test_pattern_signatures_on_triangle(self):
+        g = preferential_attachment(10, m=2, seed=0)
+        index = SignatureIndex(g)
+        sigs = index.pattern_signatures(triangle())
+        assert all(sig == (3, 3, 1) for sig in sigs.values())
+
+
+class TestSoundness:
+    @settings(max_examples=20)
+    @given(st.integers(8, 28), st.integers(0, 100))
+    def test_never_prunes_true_images_triangle(self, n, seed):
+        g = preferential_attachment(n, m=2, seed=seed)
+        index = SignatureIndex(g)
+        candidate_sets = index.candidates(triangle())
+        for match in bruteforce_matches(g, triangle()):
+            for var, node in match.mapping.items():
+                assert node in candidate_sets[var]
+
+    @settings(max_examples=15)
+    @given(st.integers(8, 22), st.integers(0, 100))
+    def test_never_prunes_true_images_square(self, n, seed):
+        g = preferential_attachment(n, m=2, seed=seed)
+        index = SignatureIndex(g)
+        candidate_sets = index.candidates(square())
+        for match in bruteforce_matches(g, square()):
+            for var, node in match.mapping.items():
+                assert node in candidate_sets[var]
+
+
+class TestPruning:
+    def test_prunes_low_degree_nodes_for_cliques(self):
+        g = labeled_preferential_attachment(150, m=2, seed=4)
+        index = SignatureIndex(g)
+        power = index.pruning_power(triangle())
+        assert 0.0 < power < 1.0
+
+    def test_leaf_cannot_match_triangle(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        g.add_edge(1, 3)
+        g.add_edge(3, 4)  # leaf node 4
+        index = SignatureIndex(g)
+        candidate_sets = index.candidates(triangle())
+        for var in "ABC":
+            assert 4 not in candidate_sets[var]
+
+    def test_len(self):
+        g = preferential_attachment(20, m=1, seed=0)
+        assert len(SignatureIndex(g)) == 20

@@ -1,0 +1,54 @@
+"""Tests for structural-hole measures (effective size, efficiency)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.measures import effective_size, effective_size_via_census, efficiency
+from repro.graph.generators import preferential_attachment
+from repro.graph.graph import Graph
+
+
+def star(leaves):
+    g = Graph()
+    for i in range(1, leaves + 1):
+        g.add_edge(0, i)
+    return g
+
+
+class TestEffectiveSize:
+    def test_star_center_is_fully_effective(self):
+        # No ties among alters: effective size equals degree.
+        g = star(5)
+        assert effective_size(g, 0) == 5.0
+        assert efficiency(g, 0) == 1.0
+
+    def test_clique_member_is_redundant(self):
+        # K4: each ego's 3 alters have 3 ties among them -> 3 - 2*3/3 = 1.
+        g = Graph()
+        for i in range(4):
+            for j in range(i + 1, 4):
+                g.add_edge(i, j)
+        assert effective_size(g, 0) == 1.0
+        assert efficiency(g, 0) == 1.0 / 3.0
+
+    def test_isolated_node(self):
+        g = Graph()
+        g.add_node(9)
+        assert effective_size(g, 9) == 0.0
+        assert efficiency(g, 9) == 0.0
+
+    @settings(max_examples=20)
+    @given(st.integers(5, 40), st.integers(0, 100))
+    def test_census_formulation_matches_direct(self, n, seed):
+        g = preferential_attachment(n, m=2, seed=seed)
+        via = effective_size_via_census(g)
+        for node in g.nodes():
+            assert abs(via[node] - effective_size(g, node)) < 1e-12
+
+    @settings(max_examples=15)
+    @given(st.integers(5, 30), st.integers(0, 100))
+    def test_bounds(self, n, seed):
+        g = preferential_attachment(n, m=2, seed=seed)
+        for node in g.nodes():
+            es = effective_size(g, node)
+            assert 0.0 <= es <= g.degree(node) + 1e-12

@@ -1,0 +1,76 @@
+"""Tests for the benchmark harness and reporting."""
+
+from repro.bench.harness import Measurement, Sweep, time_call
+from repro.bench.reporting import render_series, speedup_table
+
+
+class TestTimeCall:
+    def test_returns_time_and_result(self):
+        seconds, result = time_call(sum, [1, 2, 3])
+        assert result == 6
+        assert seconds >= 0.0
+
+    def test_kwargs_forwarded(self):
+        _t, result = time_call(sorted, [3, 1], reverse=True)
+        assert result == [3, 1]
+
+
+class TestSweep:
+    def make(self):
+        s = Sweep("demo", x_label="n")
+        s.record("A", 10, 1.0)
+        s.record("A", 20, 2.0)
+        s.record("B", 10, 4.0)
+        s.record("B", 20, 4.0)
+        return s
+
+    def test_run_records_and_returns(self):
+        s = Sweep("t")
+        result = s.run("series", 1, lambda: 42)
+        assert result == 42
+        assert s.value("series", 1) >= 0.0
+
+    def test_series_and_xs_preserve_order(self):
+        s = self.make()
+        assert s.series_names() == ["A", "B"]
+        assert s.xs() == [10, 20]
+
+    def test_value_missing_is_none(self):
+        s = self.make()
+        assert s.value("A", 99) is None
+        assert s.value("Z", 10) is None
+
+    def test_as_table(self):
+        s = self.make()
+        assert s.as_table() == {"A": {10: 1.0, 20: 2.0}, "B": {10: 4.0, 20: 4.0}}
+
+    def test_speedup(self):
+        s = self.make()
+        assert s.speedup("B", "A", 10) == 4.0
+        assert s.speedup("B", "A", 99) is None
+
+    def test_measurement_meta(self):
+        m = Measurement("A", 1, 0.5, {"note": "x"})
+        assert m.meta["note"] == "x"
+
+
+class TestReporting:
+    def test_render_series_cells(self):
+        s = TestSweep().make()
+        text = render_series(s)
+        assert "demo" in text
+        assert "1.000" in text and "4.000" in text
+        assert text.count("\n") >= 3
+
+    def test_render_missing_cell_dash(self):
+        s = Sweep("gaps")
+        s.record("A", 1, 1.0)
+        s.record("B", 2, 2.0)
+        assert "-" in render_series(s)
+
+    def test_speedup_table(self):
+        s = TestSweep().make()
+        text = speedup_table(s, "B")
+        assert "speedup over B" in text
+        assert "4.0x" in text
+        assert "B:" not in text.replace("speedup over B", "")

@@ -1,0 +1,208 @@
+"""The central correctness property: all six census algorithms agree.
+
+ND-BAS (extract S(n,k), match inside) is the semantics-defining
+baseline; every other algorithm must return identical counts on every
+graph, pattern, radius, focal set, and subpattern configuration.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.census import ALGORITHMS, census
+from repro.graph.generators import (
+    erdos_renyi,
+    labeled_preferential_attachment,
+    preferential_attachment,
+)
+from repro.graph.graph import Graph
+from repro.matching.pattern import Pattern
+
+OTHERS = [name for name in ALGORITHMS if name != "nd-bas"]
+
+
+def triangle(labels=(None, None, None)):
+    p = Pattern("tri")
+    for var, label in zip("ABC", labels):
+        p.add_node(var, label=label)
+    p.add_edge("A", "B")
+    p.add_edge("B", "C")
+    p.add_edge("A", "C")
+    return p
+
+
+def edge_pattern():
+    p = Pattern("edge")
+    p.add_edge("A", "B")
+    return p
+
+
+def assert_agreement(graph, pattern, k, focal_nodes=None, subpattern=None):
+    reference = census(graph, pattern, k, focal_nodes=focal_nodes,
+                       subpattern=subpattern, algorithm="nd-bas")
+    for name in OTHERS:
+        result = census(graph, pattern, k, focal_nodes=focal_nodes,
+                        subpattern=subpattern, algorithm=name)
+        assert result == reference, f"{name} disagrees with nd-bas"
+    return reference
+
+
+class TestSmallGraphs:
+    @pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+    def test_two_triangles(self, algorithm, triangle_graph, triangle_pattern):
+        counts = census(triangle_graph, triangle_pattern, 1, algorithm=algorithm)
+        # Node 3 belongs to both triangles; its 1-hop net holds both.
+        assert counts[3] == 2
+        assert counts[1] == 1
+        assert counts[5] == 1
+
+    @pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+    def test_k_zero_single_node_pattern(self, algorithm, triangle_graph):
+        p = Pattern("n")
+        p.add_node("A")
+        counts = census(triangle_graph, p, 0, algorithm=algorithm)
+        assert all(c == 1 for c in counts.values())
+
+    @pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+    def test_k_zero_multi_node_pattern_counts_nothing(self, algorithm, triangle_graph,
+                                                      triangle_pattern):
+        counts = census(triangle_graph, triangle_pattern, 0, algorithm=algorithm)
+        assert all(c == 0 for c in counts.values())
+
+    @pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+    def test_focal_subset_only(self, algorithm, triangle_graph, triangle_pattern):
+        counts = census(triangle_graph, triangle_pattern, 2,
+                        focal_nodes=[1, 5], algorithm=algorithm)
+        assert set(counts) == {1, 5}
+
+    @pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+    def test_empty_graph_pattern_absent(self, algorithm):
+        g = Graph()
+        for i in range(4):
+            g.add_node(i)
+        counts = census(g, triangle(), 2, algorithm=algorithm)
+        assert all(c == 0 for c in counts.values())
+
+    def test_unknown_algorithm_rejected(self, triangle_graph, triangle_pattern):
+        with pytest.raises(ValueError):
+            census(triangle_graph, triangle_pattern, 1, algorithm="nope")
+
+
+class TestAgreementProperties:
+    @given(st.integers(8, 40), st.integers(0, 3), st.integers(0, 200))
+    def test_unlabeled_triangle(self, n, k, seed):
+        g = preferential_attachment(n, m=2, seed=seed)
+        assert_agreement(g, triangle(), k)
+
+    @given(st.integers(8, 40), st.integers(1, 2), st.integers(0, 200))
+    def test_labeled_triangle(self, n, k, seed):
+        g = labeled_preferential_attachment(n, m=2, seed=seed)
+        assert_agreement(g, triangle(labels=("A", "B", "C")), k)
+
+    @given(st.integers(8, 30), st.integers(0, 2), st.integers(0, 200))
+    def test_edge_pattern_on_er(self, n, k, seed):
+        g = erdos_renyi(n, min(2 * n, n * (n - 1) // 2), seed=seed)
+        assert_agreement(g, edge_pattern(), k)
+
+    @given(st.integers(8, 30), st.integers(0, 150))
+    def test_focal_subset(self, n, seed):
+        g = preferential_attachment(n, m=2, seed=seed)
+        focal = [i for i in range(n) if i % 3 == 0]
+        assert_agreement(g, triangle(), 2, focal_nodes=focal)
+
+    @given(st.integers(8, 28), st.integers(0, 150))
+    def test_path_with_subpattern_center(self, n, seed):
+        g = preferential_attachment(n, m=2, seed=seed)
+        p = Pattern("path")
+        p.add_edge("A", "B")
+        p.add_edge("B", "C")
+        p.add_subpattern("center", ["B"])
+        assert_agreement(g, p, 1, subpattern="center")
+
+    @given(st.integers(8, 24), st.integers(0, 150))
+    def test_directed_triad_subpattern_k0(self, n, seed):
+        g = erdos_renyi(n, min(2 * n, n * (n - 1)), seed=seed, directed=True)
+        p = Pattern("triad")
+        p.add_edge("A", "B", directed=True)
+        p.add_edge("B", "C", directed=True)
+        p.add_edge("A", "C", directed=True, negated=True)
+        p.add_subpattern("mid", ["B"])
+        assert_agreement(g, p, 0, subpattern="mid")
+
+    @given(st.integers(10, 30), st.integers(0, 100))
+    def test_star_pattern(self, n, seed):
+        g = preferential_attachment(n, m=3, seed=seed)
+        p = Pattern("star")
+        p.add_edge("A", "B")
+        p.add_edge("A", "C")
+        p.add_edge("A", "D")
+        assert_agreement(g, p, 1)
+
+    @settings(max_examples=15)
+    @given(st.integers(10, 22), st.integers(2, 3), st.integers(0, 80))
+    def test_square_large_k(self, n, k, seed):
+        g = preferential_attachment(n, m=2, seed=seed)
+        p = Pattern("sqr")
+        p.add_edge("A", "B")
+        p.add_edge("B", "C")
+        p.add_edge("C", "D")
+        p.add_edge("D", "A")
+        assert_agreement(g, p, k)
+
+
+class TestSubpatternSemantics:
+    def test_match_may_extend_beyond_neighborhood(self):
+        # Path 1-2-3; count paths whose *center* is in S(n, 0).
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        p = Pattern("path")
+        p.add_edge("A", "B")
+        p.add_edge("B", "C")
+        p.add_subpattern("center", ["B"])
+        counts = assert_agreement(g, p, 0, subpattern="center")
+        assert counts == {1: 0, 2: 1, 3: 0}
+
+    def test_automorphic_placements_counted_separately(self):
+        # Symmetric edge pattern with subpattern {A}: for each edge both
+        # endpoints get one count in their 0-hop neighborhood.
+        g = Graph()
+        g.add_edge(1, 2)
+        p = Pattern("edge")
+        p.add_edge("A", "B")
+        p.add_subpattern("end", ["A"])
+        counts = assert_agreement(g, p, 0, subpattern="end")
+        assert counts == {1: 1, 2: 1}
+
+    def test_multi_node_subpattern(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        g.add_edge(1, 3)
+        g.add_edge(3, 4)
+        p = Pattern("tri")
+        p.add_edge("A", "B")
+        p.add_edge("B", "C")
+        p.add_edge("A", "C")
+        p.add_subpattern("pair", ["A", "B"])
+        assert_agreement(g, p, 1, subpattern="pair")
+
+
+class TestValidation:
+    def test_negative_k_rejected(self, triangle_graph, triangle_pattern):
+        from repro.errors import CensusError
+
+        with pytest.raises(CensusError):
+            census(triangle_graph, triangle_pattern, -1)
+
+    def test_unknown_subpattern_rejected(self, triangle_graph, triangle_pattern):
+        from repro.errors import CensusError
+
+        with pytest.raises(CensusError):
+            census(triangle_graph, triangle_pattern, 1, subpattern="nope")
+
+    def test_unknown_focal_node_rejected(self, triangle_graph, triangle_pattern):
+        from repro.errors import CensusError
+
+        with pytest.raises(CensusError):
+            census(triangle_graph, triangle_pattern, 1, focal_nodes=[999])

@@ -1,0 +1,97 @@
+"""Tests for sampling-based approximate census."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.census import census
+from repro.census.approx import approximate_census, sample_size_for_error
+from repro.graph.generators import preferential_attachment
+from repro.graph.graph import Graph
+from repro.matching.pattern import Pattern
+
+
+def triangle():
+    p = Pattern("tri")
+    p.add_edge("A", "B")
+    p.add_edge("B", "C")
+    p.add_edge("A", "C")
+    return p
+
+
+class TestExactLimits:
+    @settings(max_examples=20)
+    @given(st.integers(10, 35), st.integers(1, 2), st.integers(0, 100))
+    def test_full_sample_is_exact(self, n, k, seed):
+        g = preferential_attachment(n, m=2, seed=seed)
+        exact = census(g, triangle(), k, algorithm="nd-bas")
+        approx = approximate_census(g, triangle(), k, sample_size=10 ** 6)
+        assert {n_: int(v) for n_, v in approx.items()} == exact
+
+    def test_no_matches(self):
+        g = Graph()
+        for i in range(4):
+            g.add_node(i)
+        approx = approximate_census(g, triangle(), 2, sample_size=10)
+        assert all(v == 0.0 for v in approx.values())
+
+    def test_zero_sample_size(self):
+        g = preferential_attachment(20, m=2, seed=0)
+        approx = approximate_census(g, triangle(), 1, sample_size=0)
+        assert all(v == 0.0 for v in approx.values())
+
+
+class TestStatisticalBehavior:
+    def test_unbiased_over_seeds(self):
+        g = preferential_attachment(60, m=3, seed=5)
+        exact = census(g, triangle(), 2, algorithm="nd-pvot")
+        hub = max(exact, key=exact.get)
+        estimates = [
+            approximate_census(g, triangle(), 2, sample_size=40, seed=s)[hub]
+            for s in range(30)
+        ]
+        mean = sum(estimates) / len(estimates)
+        assert abs(mean - exact[hub]) < 0.25 * max(1, exact[hub])
+
+    def test_stderr_shrinks_with_sample_size(self):
+        g = preferential_attachment(60, m=3, seed=6)
+        small = approximate_census(g, triangle(), 2, sample_size=10, seed=1,
+                                   with_stderr=True)
+        large = approximate_census(g, triangle(), 2, sample_size=200, seed=1,
+                                   with_stderr=True)
+        hub = max(small, key=lambda n: small[n][0])
+        assert large[hub][1] <= small[hub][1]
+
+    def test_full_sample_zero_stderr(self):
+        g = preferential_attachment(25, m=2, seed=7)
+        approx = approximate_census(g, triangle(), 1, sample_size=10 ** 6,
+                                    with_stderr=True)
+        assert all(stderr == 0.0 for _est, stderr in approx.values())
+
+    def test_deterministic_per_seed(self):
+        g = preferential_attachment(40, m=2, seed=8)
+        a = approximate_census(g, triangle(), 2, sample_size=15, seed=3)
+        b = approximate_census(g, triangle(), 2, sample_size=15, seed=3)
+        assert a == b
+
+    def test_estimates_nonnegative_and_bounded(self):
+        g = preferential_attachment(40, m=3, seed=9)
+        from repro.census.base import CensusRequest, prepare_matches
+
+        total = len(prepare_matches(CensusRequest(g, triangle(), 2)))
+        approx = approximate_census(g, triangle(), 2, sample_size=20, seed=0)
+        assert all(0.0 <= v <= total for v in approx.values())
+
+
+class TestSampleSizePlanner:
+    def test_caps_at_population(self):
+        assert sample_size_for_error(100, 0.0001) == 100
+
+    def test_monotone_in_target(self):
+        loose = sample_size_for_error(10 ** 6, 1000.0)
+        tight = sample_size_for_error(10 ** 6, 100.0)
+        assert tight >= loose
+
+    def test_degenerate_inputs(self):
+        assert sample_size_for_error(0, 1.0) == 0
+        assert sample_size_for_error(50, -1) == 50

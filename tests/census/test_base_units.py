@@ -1,0 +1,149 @@
+"""Unit tests for the shared census machinery (CensusRequest,
+prepare_matches, containment distances)."""
+
+import pytest
+
+from repro.census.base import CensusMatch, CensusRequest, containment_distances, prepare_matches
+from repro.errors import CensusError
+from repro.graph.graph import Graph
+from repro.matching.pattern import Pattern
+
+
+def edge_pattern():
+    p = Pattern("edge")
+    p.add_edge("A", "B")
+    return p
+
+
+def path_pattern():
+    p = Pattern("path")
+    p.add_edge("A", "B")
+    p.add_edge("B", "C")
+    return p
+
+
+@pytest.fixture
+def g():
+    g = Graph()
+    g.add_edge(1, 2)
+    g.add_edge(2, 3)
+    return g
+
+
+class TestCensusRequest:
+    def test_defaults_focal_to_all_nodes(self, g):
+        request = CensusRequest(g, edge_pattern(), 1)
+        assert set(request.focal_nodes) == {1, 2, 3}
+
+    def test_zero_counts(self, g):
+        request = CensusRequest(g, edge_pattern(), 1, focal_nodes=[1, 3])
+        assert request.zero_counts() == {1: 0, 3: 0}
+
+    def test_rejects_negative_radius(self, g):
+        with pytest.raises(CensusError):
+            CensusRequest(g, edge_pattern(), -1)
+
+    def test_rejects_unknown_subpattern(self, g):
+        with pytest.raises(CensusError):
+            CensusRequest(g, edge_pattern(), 1, subpattern="ghost")
+
+    def test_rejects_foreign_focal_nodes(self, g):
+        with pytest.raises(CensusError):
+            CensusRequest(g, edge_pattern(), 1, focal_nodes=[1, 99])
+
+    def test_containment_vars_default_all(self, g):
+        request = CensusRequest(g, path_pattern(), 1)
+        assert set(request.containment_vars()) == {"A", "B", "C"}
+
+    def test_containment_vars_subpattern(self, g):
+        p = path_pattern()
+        p.add_subpattern("mid", ["B"])
+        request = CensusRequest(g, p, 1, subpattern="mid")
+        assert request.containment_vars() == ("B",)
+
+    def test_invalid_pattern_rejected(self, g):
+        bad = Pattern("dis")
+        bad.add_node("A")
+        bad.add_node("B")
+        with pytest.raises(Exception):
+            CensusRequest(g, bad, 1)
+
+
+class TestPrepareMatches:
+    def test_units_are_distinct_subgraphs(self, g):
+        request = CensusRequest(g, edge_pattern(), 1)
+        units = prepare_matches(request)
+        assert len(units) == 2  # two edges
+        assert {u.index for u in units} == {0, 1}
+
+    def test_subpattern_units_keep_automorphic_placements(self, g):
+        p = edge_pattern()
+        p.add_subpattern("end", ["A"])
+        request = CensusRequest(g, p, 0, subpattern="end")
+        units = prepare_matches(request)
+        # Each of the 2 edges yields 2 subpattern placements.
+        assert len(units) == 4
+        assert all(len(u.nodes) == 1 for u in units)
+
+    def test_adopted_matches(self, g):
+        from repro.matching import find_matches
+
+        request = CensusRequest(g, edge_pattern(), 1)
+        matches = find_matches(g, edge_pattern())
+        units = prepare_matches(request, matches=matches)
+        assert len(units) == len(matches)
+
+    def test_census_match_repr(self, g):
+        request = CensusRequest(g, edge_pattern(), 1)
+        unit = prepare_matches(request)[0]
+        assert "CensusMatch" in repr(unit)
+
+
+class TestContainmentDistances:
+    def test_edge_pattern(self, g):
+        request = CensusRequest(g, edge_pattern(), 1)
+        pivot, max_v, dists = containment_distances(request)
+        assert pivot == "A"  # tie broken by name
+        assert max_v == 1
+        assert dists == {"A": 0, "B": 1}
+
+    def test_single_node_pattern(self, g):
+        p = Pattern("n")
+        p.add_node("A")
+        request = CensusRequest(g, p, 2)
+        pivot, max_v, dists = containment_distances(request)
+        assert (pivot, max_v) == ("A", 0)
+
+
+class TestCNExtractionLimit:
+    def test_limit_stops_early(self):
+        from repro.graph.generators import preferential_attachment
+        from repro.matching.cn import build_cn_state, extract_matches
+
+        g = preferential_attachment(60, m=3, seed=2)
+        p = Pattern("tri")
+        p.add_edge("A", "B")
+        p.add_edge("B", "C")
+        p.add_edge("A", "C")
+        state = build_cn_state(g, p)
+        limited = extract_matches(g, p, state, limit=5)
+        assert len(limited) == 5
+
+
+class TestPruningPasses:
+    def test_fixpoint_reached_quickly(self):
+        # The paper bounds pruning iterations by |V_P|; empirically the
+        # fixpoint lands within |V_P| + 2 passes on these workloads.
+        from repro.graph.generators import labeled_preferential_attachment
+        from repro.matching.cn import build_cn_state
+
+        g = labeled_preferential_attachment(150, m=3, seed=6)
+        p = Pattern("tri")
+        p.add_node("A", label="A")
+        p.add_node("B", label="B")
+        p.add_node("C", label="C")
+        p.add_edge("A", "B")
+        p.add_edge("B", "C")
+        p.add_edge("A", "C")
+        state = build_cn_state(g, p)
+        assert 1 <= state.stats["pruning_passes"] <= len(p.nodes) + 2

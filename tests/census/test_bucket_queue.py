@@ -1,0 +1,126 @@
+"""Tests for the array-based priority queue and its ablation variants."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.census.bucket_queue import BucketQueue, FIFOQueue, RandomQueue
+
+
+class TestBucketQueue:
+    def test_pops_in_score_order(self):
+        q = BucketQueue(10)
+        q.push("a", 5)
+        q.push("b", 2)
+        q.push("c", 8)
+        assert q.pop() == ("b", 2)
+        assert q.pop() == ("a", 5)
+        assert q.pop() == ("c", 8)
+
+    def test_decrease_key_wins(self):
+        q = BucketQueue(10)
+        q.push("a", 9)
+        q.push("a", 3)
+        assert q.pop() == ("a", 3)
+        assert not q
+
+    def test_increase_is_ignored(self):
+        q = BucketQueue(10)
+        q.push("a", 3)
+        q.push("a", 9)
+        assert q.pop() == ("a", 3)
+        assert not q
+
+    def test_reinsert_after_pop(self):
+        q = BucketQueue(10)
+        q.push("a", 5)
+        q.pop()
+        q.push("a", 2)
+        assert q.pop() == ("a", 2)
+
+    def test_cursor_moves_backwards_on_lower_push(self):
+        q = BucketQueue(10)
+        q.push("a", 7)
+        assert q.pop() == ("a", 7)
+        q.push("b", 1)  # lower than the cursor position
+        assert q.pop() == ("b", 1)
+
+    def test_empty_pop_raises(self):
+        q = BucketQueue(5)
+        with pytest.raises(IndexError):
+            q.pop()
+
+    def test_len_counts_live_entries(self):
+        q = BucketQueue(5)
+        q.push("a", 3)
+        q.push("a", 1)  # stale entry at 3
+        assert len(q) == 1
+
+    def test_zero_score_range(self):
+        q = BucketQueue(0)
+        q.push("a", 0)
+        q.push("b", 0)
+        assert {q.pop()[0], q.pop()[0]} == {"a", "b"}
+        assert not q
+
+    def test_boundary_score(self):
+        q = BucketQueue(7)
+        q.push("edge", 7)
+        assert q.pop() == ("edge", 7)
+
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 30)), max_size=60))
+    def test_matches_reference_sort(self, pushes):
+        q = BucketQueue(30)
+        best = {}
+        for item, score in pushes:
+            q.push(item, score)
+            if item not in best or score < best[item]:
+                best[item] = score
+        popped = []
+        while q:
+            popped.append(q.pop())
+        assert sorted(popped, key=lambda t: (t[1], t[0])) == sorted(
+            best.items(), key=lambda t: (t[1], t[0])
+        )
+        scores = [s for _i, s in popped]
+        assert scores == sorted(scores)
+
+
+class TestFIFOQueue:
+    def test_fifo_order(self):
+        q = FIFOQueue()
+        q.push("a", 9)
+        q.push("b", 1)
+        assert q.pop()[0] == "a"
+        assert q.pop()[0] == "b"
+
+    def test_no_duplicate_live_entries(self):
+        q = FIFOQueue()
+        q.push("a", 5)
+        q.push("a", 3)
+        assert q.pop() == ("a", 3)
+        assert not q
+
+
+class TestRandomQueue:
+    def test_pops_everything_once(self):
+        q = RandomQueue(rng=random.Random(1))
+        for i in range(20):
+            q.push(i, i)
+        popped = set()
+        while q:
+            item, _score = q.pop()
+            assert item not in popped
+            popped.add(item)
+        assert popped == set(range(20))
+
+    def test_deterministic_given_rng(self):
+        def run(seed):
+            q = RandomQueue(rng=random.Random(seed))
+            for i in range(10):
+                q.push(i, 0)
+            return [q.pop()[0] for _ in range(10)]
+
+        assert run(7) == run(7)

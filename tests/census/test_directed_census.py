@@ -1,0 +1,108 @@
+"""Deterministic census suites on directed graphs and directed patterns.
+
+The randomized cross-validation covers directed cases statistically;
+these tests pin down specific directed semantics (motif orientation,
+direction-blind neighborhoods, brokerage-style negation) with
+hand-checkable answers across every algorithm.
+"""
+
+import pytest
+
+from repro.census import ALGORITHMS, census
+from repro.graph.graph import Graph
+from repro.matching.pattern import Pattern
+
+
+def feed_forward_loop():
+    p = Pattern("ffl")
+    p.add_edge("A", "B", directed=True)
+    p.add_edge("B", "C", directed=True)
+    p.add_edge("A", "C", directed=True)
+    return p
+
+
+def two_chain():
+    p = Pattern("chain")
+    p.add_edge("A", "B", directed=True)
+    p.add_edge("B", "C", directed=True)
+    return p
+
+
+@pytest.fixture
+def ffl_graph():
+    """One FFL (1->2->3, 1->3) hanging off a directed path 3->4->5."""
+    g = Graph(directed=True)
+    g.add_edge(1, 2)
+    g.add_edge(2, 3)
+    g.add_edge(1, 3)
+    g.add_edge(3, 4)
+    g.add_edge(4, 5)
+    return g
+
+
+class TestDirectedMotifs:
+    @pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+    def test_ffl_counts(self, algorithm, ffl_graph):
+        counts = census(ffl_graph, feed_forward_loop(), 1, algorithm=algorithm)
+        # Neighborhood expansion is direction-blind, so nodes 1..4 see
+        # the FFL within 1 hop; 5 does not (node 1 is 2 hops away).
+        assert counts == {1: 1, 2: 1, 3: 1, 4: 0, 5: 0}
+
+    @pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+    def test_chain_direction_respected(self, algorithm):
+        g = Graph(directed=True)
+        g.add_edge(1, 2)
+        g.add_edge(3, 2)  # converging, NOT a chain
+        counts = census(g, two_chain(), 2, algorithm=algorithm)
+        assert all(c == 0 for c in counts.values())
+
+    @pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+    def test_chain_subpattern_middle(self, algorithm, ffl_graph):
+        p = two_chain()
+        p.add_subpattern("mid", ["B"])
+        counts = census(ffl_graph, p, 0, subpattern="mid", algorithm=algorithm)
+        # Chains: 1>2>3, 2>3>4, 1>3>4, 3>4>5 — middles 2, 3, 3, 4.
+        assert counts == {1: 0, 2: 1, 3: 2, 4: 1, 5: 0}
+
+
+class TestDirectedNegation:
+    @pytest.mark.parametrize("algorithm", ["nd-bas", "nd-pvot", "pt-opt"])
+    def test_open_directed_triad(self, algorithm, ffl_graph):
+        p = Pattern("open_triad")
+        p.add_edge("A", "B", directed=True)
+        p.add_edge("B", "C", directed=True)
+        p.add_edge("A", "C", directed=True, negated=True)
+        counts = census(ffl_graph, p, 2, algorithm=algorithm)
+        # Open chains: 2>3>4 (2->4 absent), 1>3>4 (1->4 absent),
+        # 3>4>5 (3->5 absent); 1>2>3 is closed by 1->3.
+        assert counts[3] == 3
+
+    @pytest.mark.parametrize("algorithm", ["nd-bas", "nd-pvot", "pt-opt"])
+    def test_reverse_edge_does_not_close_directed_negation(self, algorithm):
+        g = Graph(directed=True)
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        g.add_edge(3, 1)  # reverse of the negated direction
+        p = Pattern("t")
+        p.add_edge("A", "B", directed=True)
+        p.add_edge("B", "C", directed=True)
+        p.add_edge("A", "C", directed=True, negated=True)
+        counts = census(g, p, 1, algorithm=algorithm)
+        # Every rotation is an open chain: 3->1 exists but 1->3 doesn't.
+        assert sum(counts.values()) == 3 * 3  # each node sees all 3
+
+
+class TestDirectedPairwise:
+    def test_intersection_on_directed_graph(self):
+        from repro.census.pairwise import pairwise_census
+
+        g = Graph(directed=True)
+        g.add_edge(1, 3)
+        g.add_edge(2, 3)
+        g.add_edge(3, 4)
+        p = Pattern("n")
+        p.add_node("A")
+        for algorithm in ("nd", "pt"):
+            counts = pairwise_census(g, p, 1, pairs=[(1, 2)], algorithm=algorithm)
+            # Direction-blind 1-hop: N(1)={1,3}, N(2)={2,3} -> {3}.
+            assert counts[(1, 2)] == 1

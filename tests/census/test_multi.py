@@ -1,0 +1,111 @@
+"""Tests for shared-traversal multi-pattern census."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.census import census
+from repro.census.multi import multi_census
+from repro.errors import CensusError
+from repro.graph.generators import labeled_preferential_attachment, preferential_attachment
+from repro.matching.pattern import Pattern
+
+
+def node_pattern():
+    p = Pattern("node")
+    p.add_node("A")
+    return p
+
+
+def edge_pattern():
+    p = Pattern("edge")
+    p.add_edge("A", "B")
+    return p
+
+
+def triangle():
+    p = Pattern("tri")
+    p.add_edge("A", "B")
+    p.add_edge("B", "C")
+    p.add_edge("A", "C")
+    return p
+
+
+class TestAgreement:
+    @settings(max_examples=20)
+    @given(st.integers(8, 30), st.integers(0, 3), st.integers(0, 150))
+    def test_matches_individual_censuses(self, n, k, seed):
+        g = preferential_attachment(n, m=2, seed=seed)
+        patterns = [node_pattern(), edge_pattern(), triangle()]
+        combined = multi_census(g, patterns, k)
+        for p in patterns:
+            assert combined[p.name] == census(g, p, k, algorithm="nd-pvot"), p.name
+
+    def test_labeled_patterns(self):
+        g = labeled_preferential_attachment(50, m=2, seed=4)
+        a = Pattern("pairAB")
+        a.add_node("A", label="A")
+        a.add_node("B", label="B")
+        a.add_edge("A", "B")
+        b = Pattern("pairCD")
+        b.add_node("A", label="C")
+        b.add_node("B", label="D")
+        b.add_edge("A", "B")
+        combined = multi_census(g, [a, b], 2)
+        assert combined["pairAB"] == census(g, a, 2, algorithm="nd-bas")
+        assert combined["pairCD"] == census(g, b, 2, algorithm="nd-bas")
+
+    def test_subpatterns_per_pattern(self):
+        g = preferential_attachment(30, m=2, seed=5)
+        path = Pattern("path")
+        path.add_edge("A", "B")
+        path.add_edge("B", "C")
+        path.add_subpattern("center", ["B"])
+        combined = multi_census(g, [path, edge_pattern()], 1,
+                                subpatterns={"path": "center"})
+        assert combined["path"] == census(g, path, 1, subpattern="center",
+                                          algorithm="nd-bas")
+        assert combined["edge"] == census(g, edge_pattern(), 1, algorithm="nd-bas")
+
+    def test_focal_subset(self):
+        g = preferential_attachment(40, m=2, seed=6)
+        focal = [0, 3, 7]
+        combined = multi_census(g, [triangle()], 2, focal_nodes=focal)
+        assert set(combined["tri"]) == set(focal)
+
+
+class TestValidation:
+    def test_empty_pattern_list(self):
+        g = preferential_attachment(10, m=2, seed=0)
+        assert multi_census(g, [], 1) == {}
+
+    def test_duplicate_names_rejected(self):
+        g = preferential_attachment(10, m=2, seed=0)
+        with pytest.raises(CensusError):
+            multi_census(g, [triangle(), triangle()], 1)
+
+    def test_matchless_pattern_all_zero(self):
+        g = preferential_attachment(10, m=1, seed=0)  # a tree: no triangles
+        combined = multi_census(g, [triangle(), edge_pattern()], 1)
+        assert all(c == 0 for c in combined["tri"].values())
+        assert any(c > 0 for c in combined["edge"].values())
+
+    def test_k_zero(self):
+        g = preferential_attachment(12, m=2, seed=1)
+        combined = multi_census(g, [node_pattern(), edge_pattern()], 0)
+        assert all(c == 1 for c in combined["node"].values())
+        assert all(c == 0 for c in combined["edge"].values())
+
+    def test_single_pattern_degenerates_to_census(self):
+        g = preferential_attachment(25, m=2, seed=2)
+        combined = multi_census(g, [triangle()], 2)
+        assert combined["tri"] == census(g, triangle(), 2, algorithm="nd-pvot")
+
+    def test_all_patterns_matchless(self):
+        from repro.graph.graph import Graph
+
+        g = Graph()
+        for i in range(4):
+            g.add_node(i)
+        combined = multi_census(g, [triangle(), edge_pattern()], 2)
+        assert all(c == 0 for counts in combined.values() for c in counts.values())

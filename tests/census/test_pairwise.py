@@ -1,0 +1,143 @@
+"""Tests for pairwise intersection/union census."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.census.pairwise import pairwise_census
+from repro.errors import CensusError
+from repro.graph.generators import preferential_attachment
+from repro.graph.graph import Graph
+from repro.graph.traversal import k_hop_nodes
+from repro.matching import bruteforce_matches
+from repro.matching.pattern import Pattern
+
+
+def triangle():
+    p = Pattern("tri")
+    p.add_edge("A", "B")
+    p.add_edge("B", "C")
+    p.add_edge("A", "C")
+    return p
+
+
+def edge_pattern():
+    p = Pattern("edge")
+    p.add_edge("A", "B")
+    return p
+
+
+def node_pattern():
+    p = Pattern("node")
+    p.add_node("A")
+    return p
+
+
+def reference_pairwise(graph, pattern, k, pairs, mode):
+    """Direct re-implementation from the definition: match inside the
+    induced subgraph of the combined region."""
+    from repro.graph.views import induced_subgraph
+
+    out = {}
+    for n1, n2 in pairs:
+        h1, h2 = k_hop_nodes(graph, n1, k), k_hop_nodes(graph, n2, k)
+        region = h1 & h2 if mode == "intersection" else h1 | h2
+        sub = induced_subgraph(graph, region)
+        out[(n1, n2)] = len(bruteforce_matches(sub, pattern))
+    return out
+
+
+class TestAgainstDefinition:
+    @given(st.integers(8, 26), st.integers(0, 2), st.integers(0, 120),
+           st.sampled_from(["intersection", "union"]))
+    def test_nd_matches_definition(self, n, k, seed, mode):
+        g = preferential_attachment(n, m=2, seed=seed)
+        pairs = list(combinations(range(0, min(n, 8)), 2))
+        got = pairwise_census(g, edge_pattern(), k, pairs=pairs, mode=mode, algorithm="nd")
+        assert got == reference_pairwise(g, edge_pattern(), k, pairs, mode)
+
+    @given(st.integers(8, 24), st.integers(1, 2), st.integers(0, 120),
+           st.sampled_from(["intersection", "union"]))
+    def test_pt_matches_nd(self, n, k, seed, mode):
+        g = preferential_attachment(n, m=2, seed=seed)
+        pairs = list(combinations(range(0, min(n, 8)), 2))
+        nd = pairwise_census(g, triangle(), k, pairs=pairs, mode=mode, algorithm="nd")
+        pt = pairwise_census(g, triangle(), k, pairs=pairs, mode=mode, algorithm="pt")
+        assert nd == pt
+
+
+class TestSmallCases:
+    def test_intersection_of_distant_nodes_empty(self):
+        g = Graph()
+        for i in range(6):
+            g.add_node(i)
+        for i in range(5):
+            g.add_edge(i, i + 1)
+        counts = pairwise_census(g, node_pattern(), 1, pairs=[(0, 5)], mode="intersection")
+        assert counts[(0, 5)] == 0
+
+    def test_union_counts_both_sides(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        g.add_edge(4, 5)
+        counts = pairwise_census(g, edge_pattern(), 1, pairs=[(0, 4)], mode="union")
+        assert counts[(0, 4)] == 2
+
+    def test_intersection_jaccard_building_block(self):
+        # Table I row 2: common nodes in 1-hop intersection.
+        g = Graph()
+        g.add_edge(1, 3)
+        g.add_edge(2, 3)
+        g.add_edge(1, 4)
+        g.add_edge(2, 4)
+        counts = pairwise_census(g, node_pattern(), 1, pairs=[(1, 2)], mode="intersection")
+        assert counts[(1, 2)] == 2  # nodes 3 and 4
+
+    def test_pairs_none_pt_intersection_emits_nonzero(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        counts = pairwise_census(g, edge_pattern(), 1, pairs=None,
+                                 mode="intersection", algorithm="pt")
+        assert counts == {(1, 2): 1}
+
+    def test_pairs_none_nd_enumerates_all(self):
+        g = Graph()
+        for i in range(4):
+            g.add_node(i)
+        g.add_edge(0, 1)
+        counts = pairwise_census(g, node_pattern(), 0, pairs=None, mode="union")
+        assert len(counts) == 6  # C(4,2)
+
+    def test_pt_union_requires_pairs(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        with pytest.raises(CensusError):
+            pairwise_census(g, edge_pattern(), 1, pairs=None, mode="union", algorithm="pt")
+
+    def test_bad_mode_rejected(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        with pytest.raises(CensusError):
+            pairwise_census(g, edge_pattern(), 1, pairs=[(1, 2)], mode="xor")
+
+    def test_bad_algorithm_rejected(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        with pytest.raises(CensusError):
+            pairwise_census(g, edge_pattern(), 1, pairs=[(1, 2)], algorithm="zz")
+
+    def test_subpattern_pairwise(self):
+        # Path of 3; subpattern center: the center must be in the region.
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        p = Pattern("path")
+        p.add_edge("A", "B")
+        p.add_edge("B", "C")
+        p.add_subpattern("center", ["B"])
+        counts = pairwise_census(g, p, 0, pairs=[(2, 2), (1, 3)], mode="union",
+                                 subpattern="center")
+        assert counts[(2, 2)] == 1
+        assert counts[(1, 3)] == 0

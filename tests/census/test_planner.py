@@ -1,0 +1,100 @@
+"""Tests for the rule-based algorithm planner."""
+
+from repro.census import ALGORITHMS, census
+from repro.census.planner import choose_algorithm
+from repro.graph.generators import labeled_preferential_attachment, preferential_attachment
+from repro.matching.pattern import Pattern
+
+
+def unlabeled_triangle():
+    p = Pattern("tri")
+    p.add_edge("A", "B")
+    p.add_edge("B", "C")
+    p.add_edge("A", "C")
+    return p
+
+
+def labeled_triangle():
+    p = Pattern("tri")
+    p.add_node("A", label="A")
+    p.add_node("B", label="B")
+    p.add_node("C", label="C")
+    p.add_edge("A", "B")
+    p.add_edge("B", "C")
+    p.add_edge("A", "C")
+    return p
+
+
+class TestChoices:
+    def test_unselective_pattern_goes_node_driven(self):
+        g = preferential_attachment(100, m=2, seed=0)
+        assert choose_algorithm(g, unlabeled_triangle(), 2) == "nd-pvot"
+
+    def test_selective_pattern_goes_pattern_driven(self):
+        g = labeled_preferential_attachment(100, m=2, seed=0)
+        assert choose_algorithm(g, labeled_triangle(), 2) == "pt-opt"
+
+    def test_tiny_focal_set_goes_node_driven(self):
+        g = labeled_preferential_attachment(100, m=2, seed=0)
+        assert choose_algorithm(g, labeled_triangle(), 2, focal_nodes=[0, 1]) == "nd-pvot"
+
+    def test_choice_is_registered_algorithm(self):
+        g = preferential_attachment(50, m=2, seed=1)
+        assert choose_algorithm(g, unlabeled_triangle(), 1) in ALGORITHMS
+
+    def test_auto_produces_correct_counts(self):
+        g = labeled_preferential_attachment(40, m=2, seed=2)
+        auto = census(g, labeled_triangle(), 2, algorithm="auto")
+        ref = census(g, labeled_triangle(), 2, algorithm="nd-bas")
+        assert auto == ref
+
+
+class TestEstimator:
+    def test_label_constraints_shrink_estimate(self):
+        from repro.census.planner import estimate_matches
+
+        g = labeled_preferential_attachment(200, m=2, seed=0)
+        assert estimate_matches(g, labeled_triangle()) < estimate_matches(
+            g, unlabeled_triangle()
+        )
+
+    def test_absent_label_estimates_zero(self):
+        from repro.census.planner import estimate_matches
+        from repro.matching.pattern import Pattern
+
+        g = preferential_attachment(50, m=2, seed=0)
+        p = Pattern("z")
+        p.add_node("A", label="Z")
+        assert estimate_matches(g, p) == 0.0
+
+    def test_ballpark_on_unlabeled_triangles(self):
+        from repro.census.planner import estimate_matches
+        from repro.matching import cn_matches
+
+        g = preferential_attachment(150, m=2, seed=3)
+        est = estimate_matches(g, unlabeled_triangle())
+        actual = len(cn_matches(g, unlabeled_triangle()))
+        # Independence estimates on PA graphs land within an order of
+        # magnitude — enough for the planner's family decision.
+        assert actual / 10 <= est <= actual * 10 + 10
+
+    def test_empty_graph(self):
+        from repro.census.planner import estimate_matches
+        from repro.graph.graph import Graph
+
+        assert estimate_matches(Graph(), unlabeled_triangle()) == 0.0
+
+    def test_predicates_discount(self):
+        from repro.census.planner import estimate_matches
+        from repro.matching.pattern import Pattern
+        from repro.matching.predicates import Attr, Comparison
+
+        g = preferential_attachment(80, m=2, seed=1)
+        plain = Pattern("e")
+        plain.add_edge("A", "B")
+        constrained = Pattern("e2")
+        constrained.add_edge("A", "B")
+        constrained.add_predicate(
+            Comparison(Attr("A", "score"), ">", Attr("B", "score"))
+        )
+        assert estimate_matches(g, constrained) < estimate_matches(g, plain)

@@ -1,0 +1,61 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.graph.graph import Graph
+from repro.matching.pattern import Pattern
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def triangle_graph():
+    """Two triangles sharing node 3: 1-2-3 and 3-4-5."""
+    g = Graph()
+    for u, v in [(1, 2), (2, 3), (1, 3), (3, 4), (4, 5), (3, 5)]:
+        g.add_edge(u, v)
+    return g
+
+
+@pytest.fixture
+def labeled_path_graph():
+    """A labeled path a-b-c-d with labels X, Y, X, Y."""
+    g = Graph()
+    g.add_node("a", label="X")
+    g.add_node("b", label="Y")
+    g.add_node("c", label="X")
+    g.add_node("d", label="Y")
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    g.add_edge("c", "d")
+    return g
+
+
+@pytest.fixture
+def triangle_pattern():
+    p = Pattern("tri")
+    p.add_edge("A", "B")
+    p.add_edge("B", "C")
+    p.add_edge("A", "C")
+    return p
+
+
+@pytest.fixture
+def edge_pattern():
+    p = Pattern("single_edge")
+    p.add_edge("A", "B")
+    return p
+
+
+@pytest.fixture
+def node_pattern():
+    p = Pattern("single_node")
+    p.add_node("A")
+    return p

@@ -1,0 +1,88 @@
+"""Tests for the synthetic DBLP generator and workloads."""
+
+import pytest
+
+from repro.datasets.dblp import synthetic_dblp
+from repro.datasets.workloads import census_workload, matching_workload, pa_graph
+
+
+class TestSyntheticDBLP:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return synthetic_dblp(num_authors=150, papers_per_year=30, seed=1)
+
+    def test_sizes(self, data):
+        assert data.train_graph.num_nodes == 150
+        assert data.train_graph.num_edges > 0
+        assert len(data.test_pairs) > 0
+
+    def test_test_pairs_are_new(self, data):
+        g = data.train_graph
+        for a, b in data.test_pairs:
+            assert not g.has_edge(a, b)
+
+    def test_papers_cover_both_eras(self, data):
+        years = {y for y, _team in data.papers}
+        assert min(years) == 2001 and max(years) == 2010
+
+    def test_team_sizes_bounded(self, data):
+        for _y, team in data.papers:
+            assert 1 <= len(team) <= 4
+
+    def test_deterministic(self):
+        a = synthetic_dblp(num_authors=60, papers_per_year=10, seed=9)
+        b = synthetic_dblp(num_authors=60, papers_per_year=10, seed=9)
+        assert set(a.train_graph.edges()) == set(b.train_graph.edges())
+        assert a.test_pairs == b.test_pairs
+
+    def test_candidate_pairs_exclude_existing_edges(self, data):
+        cands = data.candidate_pairs(max_distance=2)
+        g = data.train_graph
+        assert cands
+        for a, b in cands:
+            assert a < b
+            assert not g.has_edge(a, b)
+
+    def test_closure_signal_present(self, data):
+        """Future collaborators share more common neighbors than random
+        non-collaborating pairs — the planted signal."""
+        import random
+
+        from repro.graph.traversal import k_hop_nodes
+
+        g = data.train_graph
+
+        def common(pair):
+            return len(
+                (k_hop_nodes(g, pair[0], 1) - {pair[0]})
+                & (k_hop_nodes(g, pair[1], 1) - {pair[1]})
+            )
+
+        future = [p for p in data.test_pairs if p[0] in g and p[1] in g]
+        rng = random.Random(0)
+        nodes = list(g.nodes())
+        random_pairs = []
+        while len(random_pairs) < len(future):
+            a, b = rng.sample(nodes, 2)
+            if not g.has_edge(a, b):
+                random_pairs.append((a, b))
+        avg_future = sum(map(common, future)) / len(future)
+        avg_random = sum(map(common, random_pairs)) / len(random_pairs)
+        assert avg_future > avg_random
+
+
+class TestWorkloads:
+    def test_pa_graph_memoized(self):
+        assert pa_graph(200, labeled=True) is pa_graph(200, labeled=True)
+
+    def test_matching_workload_labels_follow_pattern(self):
+        g, p = matching_workload(300, "clq3")
+        assert g.labels() >= {"A", "B", "C"}
+        g2, p2 = matching_workload(300, "clq3-unlb")
+        assert g2.labels() == {None}
+
+    def test_census_workload(self):
+        g, p, k = census_workload(200, "clq3-unlb", k=2)
+        assert k == 2
+        assert p.name == "clq3-unlb"
+        assert g.num_nodes == 200

@@ -1,0 +1,151 @@
+"""Tests for the synthetic graph generators."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    DEFAULT_LABELS,
+    assign_random_labels,
+    erdos_renyi,
+    labeled_preferential_attachment,
+    organizational_network,
+    planted_pattern_graph,
+    preferential_attachment,
+    signed_network,
+    watts_strogatz,
+)
+
+
+class TestPreferentialAttachment:
+    def test_edge_count_approaches_m_times_n(self):
+        g = preferential_attachment(500, m=5, seed=0)
+        assert g.num_nodes == 500
+        # seed path contributes fewer edges, later nodes add m each
+        assert 5 * 500 * 0.95 <= g.num_edges <= 5 * 500
+
+    def test_deterministic_per_seed(self):
+        g1 = preferential_attachment(100, m=3, seed=9)
+        g2 = preferential_attachment(100, m=3, seed=9)
+        assert set(g1.edges()) == set(g2.edges())
+
+    def test_different_seeds_differ(self):
+        g1 = preferential_attachment(100, m=3, seed=1)
+        g2 = preferential_attachment(100, m=3, seed=2)
+        assert set(g1.edges()) != set(g2.edges())
+
+    def test_connected(self):
+        from repro.graph.traversal import connected_components
+
+        g = preferential_attachment(200, m=2, seed=4)
+        assert len(list(connected_components(g))) == 1
+
+    def test_hubs_emerge(self):
+        g = preferential_attachment(800, m=3, seed=5)
+        degrees = sorted((g.degree(n) for n in g.nodes()), reverse=True)
+        # Scale-free-ish: the top node has far more than average degree.
+        avg = sum(degrees) / len(degrees)
+        assert degrees[0] > 4 * avg
+
+    def test_single_node(self):
+        g = preferential_attachment(1, m=3, seed=0)
+        assert g.num_nodes == 1 and g.num_edges == 0
+
+    def test_invalid_args(self):
+        with pytest.raises(GraphError):
+            preferential_attachment(0)
+        with pytest.raises(GraphError):
+            preferential_attachment(10, m=0)
+
+    @given(st.integers(2, 80), st.integers(1, 5), st.integers(0, 100))
+    def test_no_self_loops_or_duplicates(self, n, m, seed):
+        g = preferential_attachment(n, m=m, seed=seed)
+        edges = list(g.edges())
+        assert len(edges) == g.num_edges
+        assert all(u != v for u, v in edges)
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = erdos_renyi(50, 120, seed=1)
+        assert g.num_edges == 120
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(4, 100)
+
+    def test_directed(self):
+        g = erdos_renyi(20, 50, seed=2, directed=True)
+        assert g.directed and g.num_edges == 50
+
+
+class TestWattsStrogatz:
+    def test_degree_and_size(self):
+        g = watts_strogatz(40, k=4, beta=0.0, seed=0)
+        assert g.num_nodes == 40
+        assert all(g.degree(n) == 4 for n in g.nodes())
+
+    def test_invalid_k(self):
+        with pytest.raises(GraphError):
+            watts_strogatz(10, k=3)
+
+
+class TestLabeling:
+    def test_labels_drawn_from_alphabet(self):
+        g = labeled_preferential_attachment(200, m=2, num_labels=4, seed=0)
+        assert g.labels() <= set(DEFAULT_LABELS)
+
+    def test_roughly_uniform(self):
+        g = labeled_preferential_attachment(2000, m=1, num_labels=4, seed=0)
+        from collections import Counter
+
+        counts = Counter(g.label(n) for n in g.nodes())
+        assert len(counts) == 4
+        assert min(counts.values()) > 2000 / 4 * 0.7
+
+    def test_custom_label_count(self):
+        g = labeled_preferential_attachment(100, m=1, num_labels=6, seed=0)
+        assert len(g.labels()) <= 6
+
+    def test_assign_labels_deterministic(self):
+        g1 = preferential_attachment(50, m=1, seed=0)
+        g2 = preferential_attachment(50, m=1, seed=0)
+        assign_random_labels(g1, seed=5)
+        assign_random_labels(g2, seed=5)
+        assert all(g1.label(n) == g2.label(n) for n in g1.nodes())
+
+
+class TestDomainGenerators:
+    def test_signed_network_has_signs(self):
+        g = signed_network(100, m=2, negative_fraction=0.5, seed=0)
+        signs = {g.edge_attr(u, v, "sign") for u, v in g.edges()}
+        assert signs <= {-1, 1}
+        assert signs == {-1, 1}  # both present at 50%
+
+    def test_negative_fraction_respected(self):
+        g = signed_network(400, m=3, negative_fraction=0.3, seed=1)
+        neg = sum(1 for u, v in g.edges() if g.edge_attr(u, v, "sign") == -1)
+        assert 0.2 < neg / g.num_edges < 0.4
+
+    def test_organizational_network(self):
+        g = organizational_network(80, num_orgs=3, m=2, seed=0)
+        assert g.directed
+        orgs = {g.node_attr(n, "org") for n in g.nodes()}
+        assert orgs <= {"org0", "org1", "org2"}
+
+    def test_planted_patterns(self):
+        # 4 disjoint triangles + noise
+        g = planted_pattern_graph(40, [(0, 1), (1, 2), (0, 2)], copies=4, noise_edges=10, seed=0)
+        from repro.matching.bruteforce import bruteforce_matches
+        from repro.matching.pattern import Pattern
+
+        tri = Pattern("tri")
+        tri.add_edge("A", "B")
+        tri.add_edge("B", "C")
+        tri.add_edge("A", "C")
+        assert len(bruteforce_matches(g, tri)) >= 4
+
+    def test_planted_needs_enough_nodes(self):
+        with pytest.raises(GraphError):
+            planted_pattern_graph(5, [(0, 1), (1, 2), (0, 2)], copies=4, noise_edges=0)

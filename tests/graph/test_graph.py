@@ -1,0 +1,183 @@
+"""Unit tests for the in-memory Graph."""
+
+import pytest
+
+from repro.errors import EdgeNotFoundError, GraphError, NodeNotFoundError
+from repro.graph.graph import Graph
+
+
+class TestNodes:
+    def test_add_node_is_idempotent(self):
+        g = Graph()
+        g.add_node(1, label="A")
+        g.add_node(1)
+        assert g.num_nodes == 1
+        assert g.node_attr(1, "label") == "A"
+
+    def test_add_node_merges_attrs(self):
+        g = Graph()
+        g.add_node(1, label="A")
+        g.add_node(1, weight=3)
+        assert g.node_attrs(1) == {"label": "A", "weight": 3}
+
+    def test_contains_and_iter(self):
+        g = Graph()
+        g.add_node("x")
+        g.add_node("y")
+        assert "x" in g and "z" not in g
+        assert set(g) == {"x", "y"}
+        assert len(g) == 2
+
+    def test_missing_node_raises(self):
+        g = Graph()
+        with pytest.raises(NodeNotFoundError):
+            g.node_attrs(42)
+        with pytest.raises(NodeNotFoundError):
+            g.neighbors(42)
+
+    def test_remove_node_removes_incident_edges(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        g.remove_node(2)
+        assert g.num_nodes == 2
+        assert g.num_edges == 0
+        assert g.neighbors(1) == set()
+
+    def test_remove_node_directed(self):
+        g = Graph(directed=True)
+        g.add_edge(1, 2)
+        g.add_edge(3, 2)
+        g.add_edge(2, 4)
+        g.remove_node(2)
+        assert g.num_edges == 0
+        assert g.out_neighbors(1) == set()
+        assert g.out_neighbors(3) == set()
+
+    def test_labels(self):
+        g = Graph()
+        g.add_node(1, label="A")
+        g.add_node(2, label="B")
+        g.add_node(3)
+        assert g.labels() == {"A", "B", None}
+        assert g.label(3) is None
+
+    def test_set_node_attr(self):
+        g = Graph()
+        g.add_node(1)
+        g.set_node_attr(1, "label", "Z")
+        assert g.label(1) == "Z"
+
+
+class TestEdgesUndirected:
+    def test_add_edge_creates_endpoints(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        assert g.has_node(1) and g.has_node(2)
+        assert g.num_edges == 1
+
+    def test_edge_is_symmetric(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        assert g.has_edge(1, 2) and g.has_edge(2, 1)
+        assert g.neighbors(1) == {2}
+        assert g.neighbors(2) == {1}
+
+    def test_edge_attrs_shared_both_directions(self):
+        g = Graph()
+        g.add_edge(1, 2, weight=5)
+        assert g.edge_attr(1, 2, "weight") == 5
+        assert g.edge_attr(2, 1, "weight") == 5
+        g.add_edge(2, 1, sign=-1)  # merge, not duplicate
+        assert g.num_edges == 1
+        assert g.edge_attrs(1, 2) == {"weight": 5, "sign": -1}
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1)
+
+    def test_remove_edge(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.remove_edge(2, 1)
+        assert g.num_edges == 0
+        assert not g.has_edge(1, 2)
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph()
+        g.add_node(1)
+        g.add_node(2)
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(1, 2)
+
+    def test_edges_listed_once(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        assert len(list(g.edges())) == 2
+
+    def test_string_node_ids(self):
+        g = Graph()
+        g.add_edge("alice", "bob", kind="friend")
+        assert g.has_edge("bob", "alice")
+        assert g.edge_attr("bob", "alice", "kind") == "friend"
+
+
+class TestEdgesDirected:
+    def test_direction_respected(self):
+        g = Graph(directed=True)
+        g.add_edge(1, 2)
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(2, 1)
+
+    def test_in_out_neighbors(self):
+        g = Graph(directed=True)
+        g.add_edge(1, 2)
+        g.add_edge(3, 2)
+        g.add_edge(2, 4)
+        assert g.in_neighbors(2) == {1, 3}
+        assert g.out_neighbors(2) == {4}
+        assert g.neighbors(2) == {1, 3, 4}
+
+    def test_degrees(self):
+        g = Graph(directed=True)
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        g.add_edge(2, 3)
+        assert g.out_degree(2) == 2
+        assert g.in_degree(2) == 1
+        assert g.degree(2) == 2  # distinct neighbors: {1, 3}
+
+    def test_antiparallel_edges_distinct(self):
+        g = Graph(directed=True)
+        g.add_edge(1, 2, w=1)
+        g.add_edge(2, 1, w=9)
+        assert g.num_edges == 2
+        assert g.edge_attr(1, 2, "w") == 1
+        assert g.edge_attr(2, 1, "w") == 9
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        g = Graph()
+        g.add_edge(1, 2, w=1)
+        g.add_node(1, label="A")
+        h = g.copy()
+        h.add_edge(2, 3)
+        h.set_node_attr(1, "label", "B")
+        assert g.num_edges == 1
+        assert g.label(1) == "A"
+        assert h.label(1) == "B"
+
+    def test_copy_preserves_direction(self):
+        g = Graph(directed=True)
+        g.add_edge(1, 2)
+        h = g.copy()
+        assert h.directed
+        assert h.has_edge(1, 2) and not h.has_edge(2, 1)
+
+    def test_repr(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        assert "nodes=2" in repr(g) and "edges=1" in repr(g)

@@ -1,0 +1,82 @@
+"""Round-trip tests for graph serialization."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import labeled_preferential_attachment
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    from_dict,
+    load_edge_list,
+    load_json,
+    save_edge_list,
+    save_json,
+    to_dict,
+)
+
+
+def graphs_equal(a, b):
+    if a.directed != b.directed or a.num_nodes != b.num_nodes or a.num_edges != b.num_edges:
+        return False
+    for n in a.nodes():
+        if not b.has_node(n) or a.node_attrs(n) != b.node_attrs(n):
+            return False
+    for u, v in a.edges():
+        if not b.has_edge(u, v) or a.edge_attrs(u, v) != b.edge_attrs(u, v):
+            return False
+    return True
+
+
+class TestJson:
+    def test_dict_round_trip(self):
+        g = labeled_preferential_attachment(50, m=2, seed=1)
+        assert graphs_equal(g, from_dict(to_dict(g)))
+
+    def test_directed_round_trip(self):
+        g = Graph(directed=True)
+        g.add_edge(1, 2, w=3)
+        g.add_node(1, label="A")
+        h = from_dict(to_dict(g))
+        assert h.directed and h.edge_attr(1, 2, "w") == 3
+
+    def test_file_round_trip(self, tmp_path):
+        g = labeled_preferential_attachment(30, m=2, seed=2)
+        path = tmp_path / "g.json"
+        save_json(g, path)
+        assert graphs_equal(g, load_json(path))
+
+    def test_bad_format_version(self):
+        with pytest.raises(GraphError):
+            from_dict({"format": 99, "directed": False, "nodes": [], "edges": []})
+
+    def test_unserializable_node_id(self):
+        g = Graph()
+        g.add_node((1, 2))
+        with pytest.raises(GraphError):
+            to_dict(g)
+
+
+class TestEdgeList:
+    def test_round_trip_with_labels(self, tmp_path):
+        g = labeled_preferential_attachment(40, m=2, seed=3)
+        path = tmp_path / "g.txt"
+        save_edge_list(g, path)
+        h = load_edge_list(path)
+        assert graphs_equal(g, h) or (
+            h.num_nodes == g.num_nodes and h.num_edges == g.num_edges
+        )
+
+    def test_unlabeled_nodes_round_trip_as_none(self, tmp_path):
+        g = Graph()
+        g.add_node(1)
+        g.add_edge(1, 2)
+        path = tmp_path / "g.txt"
+        save_edge_list(g, path)
+        h = load_edge_list(path)
+        assert h.label(1) is None
+
+    def test_malformed_file_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)

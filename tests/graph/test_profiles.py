@@ -1,0 +1,76 @@
+"""Tests for node profiles and the profile index."""
+
+from collections import Counter
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.generators import labeled_preferential_attachment
+from repro.graph.graph import Graph
+from repro.graph.profiles import NodeProfileIndex, node_profile, profile_contains
+
+
+class TestProfiles:
+    def test_profile_counts_neighbor_labels(self):
+        g = Graph()
+        g.add_node(1)
+        g.add_node(2, label="A")
+        g.add_node(3, label="A")
+        g.add_node(4, label="B")
+        for v in (2, 3, 4):
+            g.add_edge(1, v)
+        assert node_profile(g, 1) == Counter({"A": 2, "B": 1})
+
+    def test_unlabeled_neighbors_counted_under_none(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(1, 3)
+        assert node_profile(g, 1) == Counter({None: 2})
+
+    def test_containment(self):
+        big = Counter({"A": 3, "B": 1})
+        assert profile_contains(big, Counter({"A": 2}))
+        assert profile_contains(big, Counter())
+        assert not profile_contains(big, Counter({"A": 4}))
+        assert not profile_contains(big, Counter({"C": 1}))
+
+    @given(st.dictionaries(st.sampled_from("ABCD"), st.integers(0, 5), max_size=4))
+    def test_profile_contains_reflexive(self, counts):
+        profile = Counter(counts)
+        assert profile_contains(profile, profile)
+
+
+class TestIndex:
+    def test_index_matches_direct_computation(self):
+        g = labeled_preferential_attachment(100, m=2, seed=3)
+        index = NodeProfileIndex(g)
+        for n in g.nodes():
+            assert index.profile(n) == node_profile(g, n)
+
+    def test_label_buckets_partition_nodes(self):
+        g = labeled_preferential_attachment(100, m=2, seed=3)
+        index = NodeProfileIndex(g)
+        total = sum(len(index.nodes_with_label(l)) for l in index.labels())
+        assert total == g.num_nodes
+
+    def test_candidates_filter(self):
+        g = Graph()
+        g.add_node("hub", label="A")
+        g.add_node("leaf", label="A")
+        for i in range(3):
+            g.add_node(i, label="B")
+            g.add_edge("hub", i)
+        g.add_edge("leaf", 0)
+        index = NodeProfileIndex(g)
+        want = Counter({"B": 2})
+        assert index.candidates("A", want) == ["hub"]
+
+    def test_missing_label_bucket_empty(self):
+        g = Graph()
+        g.add_node(1, label="A")
+        index = NodeProfileIndex(g)
+        assert index.nodes_with_label("Z") == set()
+
+    def test_len(self):
+        g = labeled_preferential_attachment(30, m=1, seed=0)
+        assert len(NodeProfileIndex(g)) == 30

@@ -1,0 +1,49 @@
+"""Tests for the stochastic block model generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph.generators import stochastic_block_model
+
+
+class TestSBM:
+    def test_sizes_and_blocks(self):
+        g = stochastic_block_model([10, 15], p_in=0.5, p_out=0.05, seed=0)
+        assert g.num_nodes == 25
+        blocks = [g.node_attr(n, "block") for n in sorted(g.nodes())]
+        assert blocks[:10] == [0] * 10
+        assert blocks[10:] == [1] * 15
+
+    def test_degenerate_probabilities(self):
+        g = stochastic_block_model([5, 5], p_in=1.0, p_out=0.0, seed=1)
+        # Two disjoint cliques.
+        from repro.graph.traversal import connected_components
+
+        comps = sorted(connected_components(g), key=len)
+        assert [len(c) for c in comps] == [5, 5]
+        assert g.num_edges == 2 * (5 * 4 // 2)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(GraphError):
+            stochastic_block_model([5], p_in=0.1, p_out=0.5)
+        with pytest.raises(GraphError):
+            stochastic_block_model([5], p_in=1.5, p_out=0.0)
+
+    def test_community_density_gap(self):
+        g = stochastic_block_model([40, 40], p_in=0.3, p_out=0.02, seed=2)
+        within = across = 0
+        for u, v in g.edges():
+            if g.node_attr(u, "block") == g.node_attr(v, "block"):
+                within += 1
+            else:
+                across += 1
+        assert within > 3 * across
+
+    @settings(max_examples=15)
+    @given(st.lists(st.integers(2, 10), min_size=1, max_size=4), st.integers(0, 100))
+    def test_deterministic(self, sizes, seed):
+        a = stochastic_block_model(sizes, 0.4, 0.1, seed=seed)
+        b = stochastic_block_model(sizes, 0.4, 0.1, seed=seed)
+        assert set(a.edges()) == set(b.edges())

@@ -1,0 +1,80 @@
+"""Tests for the pattern catalog and standard patterns."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.lang.catalog import PatternCatalog, standard_catalog, standard_patterns
+from repro.matching.pattern import Pattern
+
+
+class TestCatalog:
+    def test_register_and_get(self):
+        cat = PatternCatalog()
+        p = Pattern("x")
+        p.add_node("A")
+        cat.register(p)
+        assert cat.get("x") is p
+        assert "x" in cat and "y" not in cat
+
+    def test_get_unknown_raises_with_suggestions(self):
+        cat = standard_catalog()
+        with pytest.raises(QueryError, match="clq3"):
+            cat.get("nope")
+
+    def test_replace_control(self):
+        cat = PatternCatalog()
+        p1 = Pattern("x")
+        p1.add_node("A")
+        cat.register(p1)
+        p2 = Pattern("x")
+        p2.add_node("B")
+        cat.register(p2)  # replace allowed by default
+        assert cat.get("x") is p2
+        with pytest.raises(QueryError):
+            cat.register(p1, replace=False)
+
+    def test_invalid_pattern_rejected_at_register(self):
+        cat = PatternCatalog()
+        bad = Pattern("dis")
+        bad.add_node("A")
+        bad.add_node("B")  # disconnected
+        with pytest.raises(Exception):
+            cat.register(bad)
+
+
+class TestStandardPatterns:
+    def test_expected_names_present(self):
+        names = {p.name for p in standard_patterns()}
+        assert {"clq3", "clq4", "sqr", "clq3-unlb", "clq4-unlb",
+                "single_node", "single_edge", "square", "path3", "star3"} <= names
+
+    def test_clq3_is_labeled_triangle(self):
+        cat = standard_catalog()
+        p = cat.get("clq3")
+        assert len(p.nodes) == 3
+        assert len(p.positive_edges()) == 3
+        assert {p.label_of(v) for v in p.nodes} == {"A", "B", "C"}
+
+    def test_unlb_variants_unlabeled(self):
+        cat = standard_catalog()
+        for name in ("clq3-unlb", "clq4-unlb", "sqr-unlb"):
+            p = cat.get(name)
+            assert all(p.label_of(v) is None for v in p.nodes)
+
+    def test_clq4_is_complete(self):
+        p = standard_catalog().get("clq4")
+        assert len(p.positive_edges()) == 6
+
+    def test_sqr_is_cycle_not_clique(self):
+        p = standard_catalog().get("sqr")
+        assert len(p.nodes) == 4
+        assert len(p.positive_edges()) == 4
+
+    def test_all_valid(self):
+        for p in standard_patterns():
+            p.validate()
+
+    def test_fresh_objects_each_call(self):
+        a = standard_catalog().get("clq3")
+        b = standard_catalog().get("clq3")
+        assert a is not b

@@ -1,0 +1,105 @@
+"""Unit tests for the WHERE expression machinery."""
+
+import random
+
+import pytest
+
+from repro.errors import QueryError
+from repro.graph.graph import Graph
+from repro.lang.ast import ColumnRef
+from repro.lang.expressions import (
+    Binary,
+    Column,
+    EvalContext,
+    Literal,
+    Rnd,
+    Unary,
+    evaluate_where,
+    expression_columns,
+)
+
+
+@pytest.fixture
+def ctx():
+    g = Graph()
+    g.add_node(1, label="A", age=30)
+    g.add_node(2, label="B", age=40)
+    return EvalContext(g, {"n1": 1, "n2": 2}, random.Random(0))
+
+
+class TestOperands:
+    def test_literal(self, ctx):
+        assert Literal(5).evaluate(ctx) == 5
+        assert Literal(None).evaluate(ctx) is None
+
+    def test_column_id(self, ctx):
+        assert Column(ColumnRef("n1", "ID")).evaluate(ctx) == 1
+
+    def test_column_attr_case_insensitive(self, ctx):
+        assert Column(ColumnRef("n1", "LABEL")).evaluate(ctx) == "A"
+
+    def test_column_missing_attr_none(self, ctx):
+        assert Column(ColumnRef("n1", "height")).evaluate(ctx) is None
+
+    def test_unqualified_needs_single_binding(self, ctx):
+        with pytest.raises(QueryError):
+            Column(ColumnRef(None, "ID")).evaluate(ctx)
+
+    def test_unknown_alias(self, ctx):
+        with pytest.raises(QueryError):
+            Column(ColumnRef("zzz", "ID")).evaluate(ctx)
+
+    def test_rnd_in_unit_interval(self, ctx):
+        values = [Rnd().evaluate(ctx) for _ in range(20)]
+        assert all(0.0 <= v < 1.0 for v in values)
+
+
+class TestOperators:
+    def test_bad_unary(self):
+        with pytest.raises(QueryError):
+            Unary("!", Literal(1))
+
+    def test_bad_binary(self):
+        with pytest.raises(QueryError):
+            Binary("**", Literal(1), Literal(2))
+
+    def test_arithmetic_type_error_raises(self, ctx):
+        expr = Binary("+", Literal("x"), Literal(3))
+        with pytest.raises(QueryError):
+            expr.evaluate(ctx)
+
+    def test_comparison_type_error_is_false(self, ctx):
+        expr = Binary("<", Literal(None), Literal(3))
+        assert expr.evaluate(ctx) is False
+
+    def test_short_circuit_and(self, ctx):
+        # RHS would divide by zero; AND must not evaluate it.
+        boom = Binary("/", Literal(1), Literal(0))
+        expr = Binary("and", Literal(False), boom)
+        assert expr.evaluate(ctx) is False
+
+    def test_short_circuit_or(self, ctx):
+        boom = Binary("/", Literal(1), Literal(0))
+        expr = Binary("or", Literal(True), boom)
+        assert expr.evaluate(ctx) is True
+
+    def test_negation_chain(self, ctx):
+        expr = Unary("not", Unary("not", Literal(True)))
+        assert expr.evaluate(ctx) is True
+
+    def test_unary_minus(self, ctx):
+        assert Unary("-", Literal(5)).evaluate(ctx) == -5
+
+
+class TestHelpers:
+    def test_evaluate_where_none_is_true(self, ctx):
+        assert evaluate_where(None, ctx.graph, {"n": 1}, ctx.rng) is True
+
+    def test_expression_columns_walks_tree(self):
+        expr = Binary(
+            "and",
+            Binary("=", Column(ColumnRef("n1", "label")), Literal("A")),
+            Unary("not", Binary("<", Column(ColumnRef("n2", "age")), Literal(10))),
+        )
+        refs = expression_columns(expr)
+        assert {r.display_name() for r in refs} == {"n1.label", "n2.age"}

@@ -1,0 +1,99 @@
+"""Robustness fuzzing of the lexer and parser.
+
+Arbitrary input must either parse or raise :class:`ParseError` /
+:class:`QueryError` — never an unhandled exception — and valid inputs
+must round-trip.
+"""
+
+import pytest
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParseError, QueryError, ReproError
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_pattern, parse_query, parse_script
+
+
+class TestLexerFuzz:
+    @settings(max_examples=200)
+    @given(st.text(max_size=120))
+    def test_tokenize_total(self, text):
+        try:
+            tokens = tokenize(text)
+        except ParseError:
+            return
+        assert tokens[-1].kind == "EOF"
+
+    @settings(max_examples=100)
+    @given(st.text(alphabet="?ABC-><!=;{}[]().'0123456789 \n", max_size=80))
+    def test_language_alphabet_total(self, text):
+        try:
+            tokenize(text)
+        except ParseError:
+            pass
+
+
+class TestParserFuzz:
+    @settings(max_examples=150)
+    @given(st.text(max_size=100))
+    @example("PATTERN p {?A-?B;}")
+    @example("SELECT ID FROM nodes")
+    def test_parse_script_total(self, text):
+        try:
+            parse_script(text)
+        except ReproError:
+            # ParseError or QueryError are the only sanctioned failures.
+            pass
+
+    @settings(max_examples=100)
+    @given(st.text(alphabet="SELECT FROMWHEREnodesID,()?AB.-<>='0123456789", max_size=80))
+    def test_parse_query_total(self, text):
+        try:
+            parse_query(text)
+        except ReproError:
+            pass
+
+
+def _names():
+    return st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+
+
+class TestRoundTrips:
+    @settings(max_examples=60)
+    @given(_names(), st.lists(st.tuples(st.sampled_from("ABCD"), st.sampled_from("ABCD"),
+                                        st.booleans(), st.booleans()),
+                              min_size=1, max_size=5))
+    def test_pattern_unparse_reparses(self, name, edge_specs):
+        from repro.matching.pattern import Pattern
+
+        p = Pattern(name)
+        for u, v, directed, negated in edge_specs:
+            if u == v:
+                continue
+            p.add_edge(u, v, directed=directed, negated=negated)
+        if not p.nodes:
+            return
+        try:
+            p.validate()
+        except ReproError:
+            return
+        q = parse_pattern(p.unparse())
+        assert q.name == p.name
+        assert len(q.edges) == len(p.edges)
+        assert {repr(e) for e in q.edges} == {repr(e) for e in p.edges}
+
+    @settings(max_examples=40)
+    @given(st.integers(0, 5), st.sampled_from(["subgraph", "intersection", "union"]))
+    def test_query_shapes_parse(self, k, kind):
+        if kind == "subgraph":
+            text = f"SELECT ID, COUNTP(p, SUBGRAPH(ID, {k})) FROM nodes"
+        else:
+            fn = "SUBGRAPH-INTERSECTION" if kind == "intersection" else "SUBGRAPH-UNION"
+            text = (
+                f"SELECT n1.ID, COUNTP(p, {fn}(n1.ID, n2.ID, {k})) "
+                "FROM nodes AS n1, nodes AS n2"
+            )
+        q = parse_query(text)
+        agg = q.aggregates()[0]
+        assert agg.neighborhood.k == k
+        assert agg.neighborhood.kind == kind

@@ -1,0 +1,109 @@
+"""Tests for the tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.lexer import EOF, IDENT, NUMBER, STRING, SYMBOL, VARIABLE, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)[:-1]]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_only_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].kind == EOF
+
+    def test_variables(self):
+        toks = tokenize("?A ?node_1")
+        assert [t.kind for t in toks[:-1]] == [VARIABLE, VARIABLE]
+        assert [t.text for t in toks[:-1]] == ["A", "node_1"]
+
+    def test_bare_question_mark_rejected(self):
+        with pytest.raises(ParseError):
+            tokenize("? A")
+
+    def test_numbers(self):
+        toks = tokenize("42 3.14")
+        assert [t.text for t in toks[:-1]] == ["42", "3.14"]
+        assert all(t.kind == NUMBER for t in toks[:-1])
+
+    def test_number_trailing_dot_not_swallowed(self):
+        # "n1.ID"-style: dot followed by a letter stays a symbol.
+        assert texts("1.x") == ["1", ".", "x"]
+
+    def test_strings_both_quotes(self):
+        assert texts("'abc' \"def\"") == ["abc", "def"]
+        assert kinds("'abc'") == [STRING]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'abc")
+        with pytest.raises(ParseError):
+            tokenize("'ab\nc'")
+
+    def test_identifiers_preserve_case(self):
+        toks = tokenize("Select LABEL nodes")
+        assert [t.text for t in toks[:-1]] == ["Select", "LABEL", "nodes"]
+        assert toks[0].is_keyword("select")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("@")
+
+
+class TestEdgeSymbols:
+    def test_edge_operators(self):
+        assert texts("?A-?B") == ["A", "-", "B"]
+        assert texts("?A->?B") == ["A", "->", "B"]
+        assert texts("?A!-?B") == ["A", "!-", "B"]
+        assert texts("?A!->?B") == ["A", "!->", "B"]
+
+    def test_comparison_operators(self):
+        assert texts("< <= > >= = == != <>") == [
+            "<", "<=", ">", ">=", "=", "==", "!=", "<>",
+        ]
+
+
+class TestCompoundKeywords:
+    def test_subgraph_intersection_folds(self):
+        toks = tokenize("SUBGRAPH-INTERSECTION(n1.ID, n2.ID, 1)")
+        assert toks[0].kind == IDENT
+        assert toks[0].text == "SUBGRAPH-INTERSECTION"
+
+    def test_subgraph_union_folds(self):
+        assert tokenize("subgraph-union")[0].text == "subgraph-union"
+
+    def test_subgraph_minus_other_does_not_fold(self):
+        toks = tokenize("SUBGRAPH-FOO")
+        assert [t.text for t in toks[:-1]] == ["SUBGRAPH", "-", "FOO"]
+
+    def test_pattern_name_with_hyphen_stays_split(self):
+        # clq3-unlb is joined by the parser, not the lexer.
+        assert texts("clq3-unlb") == ["clq3", "-", "unlb"]
+
+
+class TestCommentsAndPositions:
+    def test_sql_comment(self):
+        assert texts("SELECT -- comment\nID") == ["SELECT", "ID"]
+
+    def test_hash_comment(self):
+        assert texts("# whole line\nID") == ["ID"]
+
+    def test_positions_tracked(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("ab\n  @")
+        except ParseError as exc:
+            assert exc.line == 2 and exc.column == 3
+        else:
+            pytest.fail("expected ParseError")

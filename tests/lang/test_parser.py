@@ -1,0 +1,231 @@
+"""Tests for the pattern and SQL parsers."""
+
+import pytest
+
+from repro.errors import ParseError, QueryError
+from repro.lang.ast import Aggregate, ColumnRef
+from repro.lang.parser import parse_pattern, parse_query, parse_script
+from repro.matching.pattern import Pattern
+
+
+class TestPatternParsing:
+    def test_single_node(self):
+        p = parse_pattern("PATTERN single_node {?A;}")
+        assert p.name == "single_node"
+        assert list(p.nodes) == ["A"]
+        assert p.edges == []
+
+    def test_edges_all_flavors(self):
+        p = parse_pattern("PATTERN x {?A-?B; ?B->?C; ?A!->?C; ?B!-?D; ?D-?A;}")
+        flavors = {(e.u, e.v, e.directed, e.negated) for e in p.edges}
+        assert ("A", "B", False, False) in flavors
+        assert ("B", "C", True, False) in flavors
+        assert ("A", "C", True, True) in flavors
+        assert ("B", "D", False, True) in flavors
+
+    def test_hyphenated_name(self):
+        p = parse_pattern("PATTERN clq3-unlb {?A-?B; ?B-?C; ?A-?C;}")
+        assert p.name == "clq3-unlb"
+
+    def test_predicates(self):
+        p = parse_pattern(
+            "PATTERN t {?A-?B; [?A.LABEL=?B.LABEL]; [?A.age>=30]; [EDGE(?A,?B).sign=-1];}"
+        )
+        assert len(p.predicates) == 3
+
+    def test_label_constant_predicate_sets_label(self):
+        p = parse_pattern("PATTERN t {?A-?B; [?A.LABEL='X'];}")
+        assert p.label_of("A") == "X"
+
+    def test_subpattern(self):
+        p = parse_pattern("PATTERN t {?A->?B; ?B->?C; SUBPATTERN mid {?B;}}")
+        assert p.subpatterns == {"mid": ("B",)}
+
+    def test_table1_row4_triad(self):
+        text = """
+        PATTERN triad {
+            ?A->?B; ?B->?C; ?A!->?C;
+            [?A.LABEL=?B.LABEL];
+            [?B.LABEL=?C.LABEL];
+            SUBPATTERN coordinator {?B;}
+        }
+        """
+        p = parse_pattern(text)
+        assert len(p.positive_edges()) == 2
+        assert len(p.negative_edges()) == 1
+        assert len(p.predicates) == 2
+        assert p.subpatterns == {"coordinator": ("B",)}
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_pattern("PATTERN t {?A-?B}")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse_pattern("PATTERN t {?A-?B;")
+
+    def test_garbage_in_block(self):
+        with pytest.raises(ParseError):
+            parse_pattern("PATTERN t {SELECT;}")
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_pattern("PATTERN t {?A;} extra")
+
+
+class TestQueryParsing:
+    def test_table1_row1(self):
+        q = parse_query("SELECT ID, COUNTP(single_node, SUBGRAPH(ID, 2)) FROM nodes")
+        assert len(q.columns) == 2
+        assert isinstance(q.columns[0], ColumnRef) and q.columns[0].is_id
+        agg = q.columns[1]
+        assert isinstance(agg, Aggregate)
+        assert agg.pattern_name == "single_node"
+        assert agg.neighborhood.kind == "subgraph"
+        assert agg.neighborhood.k == 2
+        assert not q.is_pair_query
+
+    def test_table1_row2_pair_query(self):
+        q = parse_query(
+            "SELECT n1.ID, n2.ID, "
+            "COUNTP(single_edge, SUBGRAPH-INTERSECTION(n1.ID, n2.ID, 1)) "
+            "FROM nodes AS n1, nodes AS n2"
+        )
+        assert q.is_pair_query
+        agg = q.aggregates()[0]
+        assert agg.neighborhood.kind == "intersection"
+        assert [t.alias for t in agg.neighborhood.targets] == ["n1", "n2"]
+
+    def test_table1_row4_countsp(self):
+        q = parse_query("SELECT ID, COUNTSP(coordinator, triad, SUBGRAPH(ID, 0)) FROM nodes")
+        agg = q.aggregates()[0]
+        assert agg.subpattern_name == "coordinator"
+        assert agg.pattern_name == "triad"
+        assert agg.neighborhood.k == 0
+
+    def test_where_clause(self):
+        q = parse_query("SELECT ID FROM nodes WHERE RND() < 0.2 AND label = 'A'")
+        assert q.where is not None
+
+    def test_order_by_and_limit(self):
+        q = parse_query(
+            "SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) AS c FROM nodes "
+            "ORDER BY c DESC, ID LIMIT 10"
+        )
+        assert q.aggregates()[0].output_name == "c"
+        assert [o.key for o in q.order_by] == ["c", "ID"]
+        assert [o.ascending for o in q.order_by] == [False, True]
+        assert q.limit == 10
+
+    def test_union_neighborhood(self):
+        q = parse_query(
+            "SELECT n1.ID, COUNTP(tri, SUBGRAPH-UNION(n1.ID, n2.ID, 2)) "
+            "FROM nodes AS n1, nodes AS n2"
+        )
+        assert q.aggregates()[0].neighborhood.kind == "union"
+
+    def test_default_alias_single_table(self):
+        q = parse_query("SELECT ID FROM nodes")
+        assert q.tables[0].alias == "nodes"
+
+    def test_pair_query_needs_aliases(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT ID FROM nodes, nodes")
+
+    def test_duplicate_aliases_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT n1.ID FROM nodes AS n1, nodes AS n1")
+
+    def test_three_tables_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT a.ID FROM nodes AS a, nodes AS b, nodes AS c")
+
+    def test_float_radius_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT COUNTP(t, SUBGRAPH(ID, 1.5)) FROM nodes")
+
+    def test_bad_neighborhood_function(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT COUNTP(t, HOOD(ID, 1)) FROM nodes")
+
+    def test_hyphenated_pattern_name_in_countp(self):
+        q = parse_query("SELECT COUNTP(clq3-unlb, SUBGRAPH(ID, 2)) FROM nodes")
+        assert q.aggregates()[0].pattern_name == "clq3-unlb"
+
+
+class TestWhereExpressions:
+    def evaluate(self, text, graph, bindings, seed=0):
+        import random
+
+        from repro.lang.expressions import evaluate_where
+
+        q = parse_query(f"SELECT ID FROM nodes WHERE {text}")
+        return evaluate_where(q.where, graph, bindings, random.Random(seed))
+
+    @pytest.fixture
+    def g(self):
+        from repro.graph.graph import Graph
+
+        g = Graph()
+        g.add_node(1, label="A", age=30)
+        g.add_node(2, label="B", age=20)
+        return g
+
+    def test_comparisons(self, g):
+        assert self.evaluate("ID = 1", g, {"nodes": 1})
+        assert not self.evaluate("ID = 1", g, {"nodes": 2})
+        assert self.evaluate("age >= 30", g, {"nodes": 1})
+
+    def test_boolean_combinators(self, g):
+        assert self.evaluate("label = 'A' AND age = 30", g, {"nodes": 1})
+        assert self.evaluate("label = 'Z' OR age = 30", g, {"nodes": 1})
+        assert self.evaluate("NOT label = 'Z'", g, {"nodes": 1})
+
+    def test_precedence_or_lower_than_and(self, g):
+        # a OR b AND c == a OR (b AND c)
+        assert self.evaluate("label = 'A' OR label = 'Z' AND age = 99", g, {"nodes": 1})
+
+    def test_arithmetic(self, g):
+        assert self.evaluate("age + 10 = 40", g, {"nodes": 1})
+        assert self.evaluate("age * 2 > 50", g, {"nodes": 1})
+        assert self.evaluate("-age < 0", g, {"nodes": 1})
+
+    def test_parentheses(self, g):
+        assert self.evaluate("(label = 'Z' OR label = 'A') AND age = 30", g, {"nodes": 1})
+
+    def test_rnd_deterministic(self, g):
+        first = self.evaluate("RND() < 0.5", g, {"nodes": 1}, seed=4)
+        second = self.evaluate("RND() < 0.5", g, {"nodes": 1}, seed=4)
+        assert first == second
+
+    def test_missing_attr_comparison_false(self, g):
+        assert not self.evaluate("height > 3", g, {"nodes": 1})
+
+    def test_division_by_zero_raises(self, g):
+        with pytest.raises(QueryError):
+            self.evaluate("age / 0 = 1", g, {"nodes": 1})
+
+    def test_pair_bindings(self, g):
+        assert self.evaluate("n1.ID > n2.ID", g, {"n1": 2, "n2": 1})
+        assert not self.evaluate("n1.ID > n2.ID", g, {"n1": 1, "n2": 2})
+
+
+class TestScripts:
+    def test_mixed_script(self):
+        statements = parse_script(
+            """
+            PATTERN tri {?A-?B; ?B-?C; ?A-?C;}
+            SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes;
+            SELECT ID FROM nodes WHERE ID = 1;
+            """
+        )
+        assert isinstance(statements[0], Pattern)
+        assert len(statements) == 3
+
+    def test_empty_script(self):
+        assert parse_script("") == []
+        assert parse_script(" ;; ") == []
+
+    def test_unknown_statement(self):
+        with pytest.raises(ParseError):
+            parse_script("DELETE FROM nodes")

@@ -1,0 +1,154 @@
+"""Tests for distance-join matching."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import erdos_renyi, preferential_attachment
+from repro.graph.graph import Graph
+from repro.graph.traversal import shortest_path_length
+from repro.matching import bruteforce_matches
+from repro.matching.distance_join import distance_census, distance_join_matches
+from repro.matching.pattern import Pattern
+
+
+def triangle():
+    p = Pattern("tri")
+    p.add_edge("A", "B")
+    p.add_edge("B", "C")
+    p.add_edge("A", "C")
+    return p
+
+
+def path_graph(n):
+    g = Graph()
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+def reference_distance_matches(graph, pattern, delta):
+    """Brute force over all node tuples with pairwise distance checks."""
+    from itertools import permutations
+
+    from repro.graph.graph import LABEL_KEY
+
+    nodes = list(graph.nodes())
+    variables = list(pattern.nodes)
+    keys = set()
+    for tup in permutations(nodes, len(variables)):
+        mapping = dict(zip(variables, tup))
+        ok = True
+        for var, node in mapping.items():
+            want = pattern.label_of(var)
+            if want is not None and graph.node_attr(node, LABEL_KEY) != want:
+                ok = False
+                break
+        if not ok:
+            continue
+        for e in pattern.edges:
+            d = shortest_path_length(graph, mapping[e.u], mapping[e.v],
+                                     max_depth=delta)
+            near = d is not None
+            if e.negated == near:
+                ok = False
+                break
+        if ok and all(p.evaluate(mapping, graph) for p in pattern.predicates):
+            from repro.matching.base import Match
+
+            keys.add(Match(mapping, pattern).canonical_key)
+    return keys
+
+
+class TestSemantics:
+    def test_delta_one_equals_ordinary_matching(self):
+        g = preferential_attachment(25, m=2, seed=1)
+        ordinary = {m.canonical_key for m in bruteforce_matches(g, triangle())}
+        relaxed = {m.canonical_key for m in distance_join_matches(g, triangle(), 1)}
+        assert ordinary == relaxed
+
+    def test_delta_two_finds_stretched_triangles(self):
+        # A path 0-1-2-3-4 has no edge-triangles, but consecutive
+        # triples are pairwise within distance 2.
+        g = path_graph(5)
+        assert distance_join_matches(g, triangle(), 1) == []
+        keys = {m.nodes() for m in distance_join_matches(g, triangle(), 2)}
+        assert keys == {
+            frozenset((0, 1, 2)), frozenset((1, 2, 3)), frozenset((2, 3, 4)),
+        }
+
+    def test_negated_edge_means_far(self):
+        g = path_graph(6)  # 0-1-2-3-4-5
+        p = Pattern("far")
+        p.add_edge("A", "B")
+        p.add_edge("B", "C")
+        p.add_edge("A", "C", negated=True)
+        out = distance_join_matches(g, p, 2)
+        assert out
+        for m in out:
+            a, b, c = m.image("A"), m.image("B"), m.image("C")
+            assert shortest_path_length(g, a, b, max_depth=2) is not None
+            assert shortest_path_length(g, b, c, max_depth=2) is not None
+            assert shortest_path_length(g, a, c, max_depth=2) is None
+
+    def test_invalid_delta(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            distance_join_matches(g, triangle(), 0)
+
+    @settings(max_examples=20)
+    @given(st.integers(5, 12), st.integers(1, 3), st.integers(0, 120))
+    def test_matches_reference(self, n, delta, seed):
+        g = erdos_renyi(n, min(n + 2, n * (n - 1) // 2), seed=seed)
+        p = Pattern("wedge")
+        p.add_edge("A", "B")
+        p.add_edge("B", "C")
+        got = {m.canonical_key for m in distance_join_matches(g, p, delta)}
+        assert got == reference_distance_matches(g, p, delta)
+
+    def test_labels_respected(self):
+        g = path_graph(5)
+        for i in g.nodes():
+            g.set_node_attr(i, "label", "X" if i % 2 == 0 else "Y")
+        p = Pattern("xx")
+        p.add_node("A", label="X")
+        p.add_node("B", label="X")
+        p.add_edge("A", "B")
+        out = distance_join_matches(g, p, 2)
+        assert all(
+            g.label(m.image("A")) == "X" and g.label(m.image("B")) == "X"
+            for m in out
+        )
+        assert out  # 0-2, 2-4 are X nodes at distance 2
+
+
+class TestDistanceCensus:
+    def test_census_counts_stretched_matches(self):
+        g = path_graph(5)
+        counts = distance_census(g, triangle(), k=4, delta=2)
+        # The stretched triangle {0,2,4} is within 4 hops of every node.
+        assert all(c >= 1 for c in counts.values())
+
+    def test_census_with_focal_subset(self):
+        g = path_graph(5)
+        counts = distance_census(g, triangle(), k=2, delta=2, focal_nodes=[2])
+        assert set(counts) == {2}
+        assert counts[2] >= 1
+
+    @settings(max_examples=15)
+    @given(st.integers(6, 14), st.integers(1, 3), st.integers(0, 2), st.integers(0, 80))
+    def test_census_matches_definition(self, n, delta, k, seed):
+        """Regression: stretched matches span farther than pattern
+        distances, so the census must do real containment checks."""
+        from repro.graph.traversal import k_hop_nodes
+
+        g = erdos_renyi(n, min(n + 3, n * (n - 1) // 2), seed=seed)
+        p = Pattern("wedge")
+        p.add_edge("A", "B")
+        p.add_edge("B", "C")
+        matches = distance_join_matches(g, p, delta)
+        counts = distance_census(g, p, k=k, delta=delta)
+        for node in g.nodes():
+            hood = k_hop_nodes(g, node, k)
+            expected = sum(1 for m in matches if m.nodes() <= hood)
+            assert counts[node] == expected

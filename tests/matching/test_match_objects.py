@@ -1,0 +1,87 @@
+"""Tests for Match canonical keys and MatchSet helpers."""
+
+from repro.graph.graph import Graph
+from repro.matching.base import Match, MatchSet, dedupe_matches
+from repro.matching.pattern import Pattern
+
+
+def triangle():
+    p = Pattern("tri")
+    p.add_edge("A", "B")
+    p.add_edge("B", "C")
+    p.add_edge("A", "C")
+    return p
+
+
+def path():
+    p = Pattern("path")
+    p.add_edge("A", "B")
+    p.add_edge("B", "C")
+    return p
+
+
+class TestCanonicalKeys:
+    def test_automorphic_embeddings_share_key(self):
+        p = triangle()
+        m1 = Match({"A": 1, "B": 2, "C": 3}, p)
+        m2 = Match({"A": 3, "B": 1, "C": 2}, p)
+        assert m1.canonical_key == m2.canonical_key
+
+    def test_same_nodes_different_edges_distinct(self):
+        # Path A-B-C over nodes {1,2,3}: center at 2 vs center at 1.
+        p = path()
+        m1 = Match({"A": 1, "B": 2, "C": 3}, p)
+        m2 = Match({"A": 2, "B": 1, "C": 3}, p)
+        assert m1.nodes() == m2.nodes()
+        assert m1.canonical_key != m2.canonical_key
+
+    def test_directed_edges_keep_orientation(self):
+        p = Pattern("arc")
+        p.add_edge("A", "B", directed=True)
+        m1 = Match({"A": 1, "B": 2}, p)
+        m2 = Match({"A": 2, "B": 1}, p)
+        assert m1.canonical_key != m2.canonical_key
+
+    def test_negated_edges_not_in_key(self):
+        p = Pattern("open")
+        p.add_edge("A", "B")
+        p.add_edge("A", "C", negated=True)
+        p.add_edge("B", "C")
+        m = Match({"A": 1, "B": 2, "C": 3}, p)
+        _nodes, edge_images = m.canonical_key
+        assert len(edge_images) == 2
+
+    def test_image_and_nodes(self):
+        p = path()
+        m = Match({"A": 10, "B": 20, "C": 30}, p)
+        assert m.image("B") == 20
+        assert m.nodes() == frozenset((10, 20, 30))
+
+    def test_subpattern_nodes(self):
+        p = path()
+        p.add_subpattern("mid", ["B"])
+        m = Match({"A": 10, "B": 20, "C": 30}, p)
+        assert m.subpattern_nodes(p, "mid") == frozenset((20,))
+
+    def test_match_equality(self):
+        p = path()
+        assert Match({"A": 1, "B": 2, "C": 3}, p) == Match({"A": 1, "B": 2, "C": 3}, p)
+        assert Match({"A": 1, "B": 2, "C": 3}, p) != Match({"A": 3, "B": 2, "C": 1}, p)
+
+
+class TestDedup:
+    def test_dedupe_keeps_first(self):
+        p = triangle()
+        m1 = Match({"A": 1, "B": 2, "C": 3}, p)
+        m2 = Match({"A": 2, "B": 3, "C": 1}, p)
+        out = dedupe_matches([m1, m2])
+        assert out == [m1]
+
+    def test_matchset_distinct(self):
+        p = triangle()
+        ms = MatchSet(
+            [Match({"A": 1, "B": 2, "C": 3}, p), Match({"A": 3, "B": 2, "C": 1}, p)]
+        )
+        assert len(ms) == 2
+        assert len(ms.distinct()) == 1
+        assert list(ms.distinct())[0].nodes() == frozenset((1, 2, 3))

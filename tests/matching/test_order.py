@@ -1,0 +1,83 @@
+"""Tests for search-order selection."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PatternError
+from repro.matching.order import connected_order, earlier_neighbors
+from repro.matching.pattern import Pattern
+
+
+def random_connected_pattern(num_nodes, extra_edges, seed):
+    import random
+
+    rng = random.Random(seed)
+    p = Pattern("rand")
+    names = [f"V{i}" for i in range(num_nodes)]
+    p.add_node(names[0])
+    for i in range(1, num_nodes):
+        p.add_edge(names[i], names[rng.randrange(i)])
+    for _ in range(extra_edges):
+        a, b = rng.sample(names, 2)
+        p.add_edge(a, b)
+    return p
+
+
+class TestConnectedOrder:
+    def test_every_prefix_connected(self):
+        p = Pattern("sqr")
+        p.add_edge("A", "B")
+        p.add_edge("B", "C")
+        p.add_edge("C", "D")
+        p.add_edge("D", "A")
+        order = connected_order(p)
+        for i in range(1, len(order) + 1):
+            prefix = set(order[:i])
+            if i == 1:
+                continue
+            # Each new node connects back into the prefix.
+            var = order[i - 1]
+            assert any(o in prefix for o, _e in p.positive_neighbors(var))
+
+    def test_starts_at_smallest_candidate_set(self):
+        p = Pattern("path")
+        p.add_edge("A", "B")
+        p.add_edge("B", "C")
+        order = connected_order(p, {"A": 100, "B": 1, "C": 100})
+        assert order[0] == "B"
+
+    def test_single_node(self):
+        p = Pattern("n")
+        p.add_node("A")
+        assert connected_order(p) == ["A"]
+
+    def test_disconnected_raises(self):
+        p = Pattern("d")
+        p.add_edge("A", "B")
+        p.add_node("Z")
+        with pytest.raises(PatternError):
+            connected_order(p)
+
+    def test_deterministic(self):
+        p = random_connected_pattern(6, 3, seed=1)
+        sizes = {v: 5 for v in p.nodes}
+        assert connected_order(p, sizes) == connected_order(p, sizes)
+
+    @given(st.integers(2, 8), st.integers(0, 5), st.integers(0, 100))
+    def test_order_is_permutation(self, n, extra, seed):
+        p = random_connected_pattern(n, extra, seed)
+        order = connected_order(p)
+        assert sorted(order) == sorted(p.nodes)
+
+
+class TestEarlierNeighbors:
+    def test_back_edges_point_into_prefix(self):
+        p = Pattern("tri")
+        p.add_edge("A", "B")
+        p.add_edge("B", "C")
+        p.add_edge("A", "C")
+        order = connected_order(p)
+        assert earlier_neighbors(p, order, 0) == []
+        assert len(earlier_neighbors(p, order, 1)) == 1
+        assert len(earlier_neighbors(p, order, 2)) == 2

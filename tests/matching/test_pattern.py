@@ -1,0 +1,191 @@
+"""Tests for the pattern graph model."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.matching.pattern import Pattern
+from repro.matching.predicates import Attr, Comparison, Const
+
+
+def triangle():
+    p = Pattern("tri")
+    p.add_edge("A", "B")
+    p.add_edge("B", "C")
+    p.add_edge("A", "C")
+    return p
+
+
+def path4():
+    p = Pattern("p4")
+    p.add_edge("A", "B")
+    p.add_edge("B", "C")
+    p.add_edge("C", "D")
+    return p
+
+
+class TestConstruction:
+    def test_add_node_idempotent(self):
+        p = Pattern()
+        p.add_node("A", label="X")
+        p.add_node("A")
+        assert p.nodes["A"].label == "X"
+
+    def test_relabel_conflict_raises(self):
+        p = Pattern()
+        p.add_node("A", label="X")
+        with pytest.raises(PatternError):
+            p.add_node("A", label="Y")
+
+    def test_self_loop_rejected(self):
+        p = Pattern()
+        with pytest.raises(PatternError):
+            p.add_edge("A", "A")
+
+    def test_duplicate_edge_ignored(self):
+        p = Pattern()
+        p.add_edge("A", "B")
+        p.add_edge("B", "A")
+        assert len(p.edges) == 1
+
+    def test_directed_and_negated_edges_distinct(self):
+        p = Pattern()
+        p.add_edge("A", "B", directed=True)
+        p.add_edge("A", "B", directed=True, negated=True)
+        assert len(p.edges) == 2
+        assert len(p.positive_edges()) == 1
+        assert len(p.negative_edges()) == 1
+
+    def test_predicate_unknown_variable(self):
+        p = Pattern()
+        p.add_node("A")
+        with pytest.raises(PatternError):
+            p.add_predicate(Comparison(Attr("Z", "label"), "=", Const("x")))
+
+    def test_label_constant_predicate_folds_into_label(self):
+        p = Pattern()
+        p.add_node("A")
+        p.add_predicate(Comparison(Attr("A", "LABEL"), "=", Const("X")))
+        assert p.label_of("A") == "X"
+
+    def test_label_fold_is_symmetric(self):
+        p = Pattern()
+        p.add_node("A")
+        p.add_predicate(Comparison(Const("X"), "=", Attr("A", "label")))
+        assert p.label_of("A") == "X"
+
+    def test_subpattern_validation(self):
+        p = triangle()
+        p.add_subpattern("mid", ["B"])
+        assert p.subpatterns["mid"] == ("B",)
+        with pytest.raises(PatternError):
+            p.add_subpattern("bad", ["Z"])
+        with pytest.raises(PatternError):
+            p.add_subpattern("empty", [])
+
+
+class TestStructure:
+    def test_positive_neighbors_ignore_negated(self):
+        p = Pattern()
+        p.add_edge("A", "B")
+        p.add_edge("A", "C", negated=True)
+        assert [v for v, _e in p.positive_neighbors("A")] == ["B"]
+        assert p.degree("A") == 1
+
+    def test_distances(self):
+        p = path4()
+        assert p.distance("A", "D") == 3
+        assert p.distance("B", "C") == 1
+        assert p.distance("A", "A") == 0
+
+    def test_distances_direction_blind(self):
+        p = Pattern()
+        p.add_edge("A", "B", directed=True)
+        p.add_edge("C", "B", directed=True)
+        assert p.distance("A", "C") == 2
+
+    def test_eccentricity_and_pivot(self):
+        p = path4()
+        assert p.eccentricity("A") == 3
+        assert p.eccentricity("B") == 2
+        assert p.pivot() in ("B", "C")  # both have eccentricity 2
+        assert p.pivot() == "B"  # tie broken by name
+        assert p.radius() == 2
+        assert p.diameter() == 3
+
+    def test_triangle_pivot(self):
+        p = triangle()
+        assert p.radius() == 1
+
+    def test_label_profile(self):
+        p = Pattern()
+        p.add_node("A")
+        p.add_node("B", label="X")
+        p.add_node("C", label="X")
+        p.add_node("D")  # unlabeled neighbor contributes nothing
+        p.add_edge("A", "B")
+        p.add_edge("A", "C")
+        p.add_edge("A", "D")
+        assert p.label_profile("A") == {"X": 2}
+
+
+class TestValidation:
+    def test_empty_pattern_invalid(self):
+        with pytest.raises(PatternError):
+            Pattern("empty").validate()
+
+    def test_disconnected_invalid(self):
+        p = Pattern()
+        p.add_edge("A", "B")
+        p.add_node("Z")
+        with pytest.raises(PatternError):
+            p.validate()
+
+    def test_negated_edges_do_not_connect(self):
+        p = Pattern()
+        p.add_edge("A", "B")
+        p.add_edge("B", "C", negated=True)
+        with pytest.raises(PatternError):
+            p.validate()
+
+    def test_single_node_valid(self):
+        p = Pattern()
+        p.add_node("A")
+        p.validate()
+
+
+class TestAutomorphisms:
+    def test_unlabeled_triangle_has_six(self):
+        assert triangle().num_automorphisms() == 6
+
+    def test_labeled_triangle_has_one(self):
+        p = Pattern()
+        p.add_node("A", label="A")
+        p.add_node("B", label="B")
+        p.add_node("C", label="C")
+        p.add_edge("A", "B")
+        p.add_edge("B", "C")
+        p.add_edge("A", "C")
+        assert p.num_automorphisms() == 1
+
+    def test_path_has_two(self):
+        p = Pattern()
+        p.add_edge("A", "B")
+        p.add_edge("B", "C")
+        assert p.num_automorphisms() == 2
+
+
+class TestUnparse:
+    def test_round_trips_through_parser(self):
+        from repro.lang.parser import parse_pattern
+
+        p = Pattern("triad")
+        p.add_edge("A", "B", directed=True)
+        p.add_edge("B", "C", directed=True)
+        p.add_edge("A", "C", directed=True, negated=True)
+        p.add_predicate(Comparison(Attr("A", "LABEL"), "=", Attr("B", "LABEL")))
+        p.add_subpattern("mid", ["B"])
+        q = parse_pattern(p.unparse())
+        assert q.name == "triad"
+        assert len(q.edges) == 3
+        assert len(q.negative_edges()) == 1
+        assert q.subpatterns == {"mid": ("B",)}

@@ -1,0 +1,86 @@
+"""Tests for predicate expressions."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.graph.graph import Graph
+from repro.matching.predicates import Attr, Comparison, Const, EdgeAttr, attr, const, edge_attr
+
+
+@pytest.fixture
+def g():
+    g = Graph()
+    g.add_node(1, label="X", age=30)
+    g.add_node(2, label="Y", age=40)
+    g.add_edge(1, 2, sign=-1)
+    return g
+
+
+class TestOperands:
+    def test_const(self, g):
+        assert Const(5).evaluate({}, g) == 5
+        assert Const(5).variables() == frozenset()
+
+    def test_attr_case_insensitive_fallback(self, g):
+        assert Attr("A", "LABEL").evaluate({"A": 1}, g) == "X"
+        assert Attr("A", "label").evaluate({"A": 1}, g) == "X"
+
+    def test_attr_missing_is_none(self, g):
+        assert Attr("A", "nope").evaluate({"A": 1}, g) is None
+
+    def test_edge_attr(self, g):
+        assert EdgeAttr("A", "B", "sign").evaluate({"A": 1, "B": 2}, g) == -1
+        assert EdgeAttr("A", "B", "sign").variables() == frozenset(("A", "B"))
+
+    def test_edge_attr_missing_edge_is_none(self, g):
+        g.add_node(3)
+        assert EdgeAttr("A", "B", "sign").evaluate({"A": 1, "B": 3}, g) is None
+
+    def test_edge_attr_directed_reverse_lookup(self):
+        d = Graph(directed=True)
+        d.add_edge(1, 2, w=7)
+        # The predicate matches the edge in either direction.
+        assert EdgeAttr("A", "B", "w").evaluate({"A": 2, "B": 1}, d) == 7
+
+
+class TestComparison:
+    def test_all_operators(self, g):
+        cases = [
+            ("=", 30, True), ("==", 30, True), ("!=", 30, False), ("<>", 30, False),
+            ("<", 31, True), ("<=", 30, True), (">", 29, True), (">=", 31, False),
+        ]
+        for op, rhs, expected in cases:
+            c = Comparison(Attr("A", "age"), op, Const(rhs))
+            assert c.evaluate({"A": 1}, g) is expected, (op, rhs)
+
+    def test_unknown_operator(self):
+        with pytest.raises(PatternError):
+            Comparison(Const(1), "~", Const(2))
+
+    def test_unbound_variables_vacuously_true(self, g):
+        c = Comparison(Attr("A", "age"), "<", Attr("B", "age"))
+        assert c.evaluate({"A": 1}, g) is True  # B unbound
+        assert c.evaluate({"A": 1, "B": 2}, g) is True  # 30 < 40
+        assert c.evaluate({"A": 2, "B": 1}, g) is False
+
+    def test_incomparable_types_fail_predicate(self, g):
+        c = Comparison(Attr("A", "nope"), "<", Const(3))  # None < 3
+        assert c.evaluate({"A": 1}, g) is False
+
+    def test_is_ready(self, g):
+        c = Comparison(Attr("A", "age"), "=", Attr("B", "age"))
+        assert not c.is_ready({"A": 1})
+        assert c.is_ready({"A": 1, "B": 2})
+
+    def test_equality_and_hash(self):
+        a = Comparison(attr("A", "label"), "=", const("X"))
+        b = Comparison(attr("A", "LABEL"), "=", const("X"))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Comparison(attr("A", "label"), "!=", const("X"))
+
+    def test_unparse(self):
+        c = Comparison(attr("A", "LABEL"), "=", const("X"))
+        assert c.unparse() == "[?A.LABEL='X']"
+        e = Comparison(edge_attr("A", "B", "sign"), "=", const(-1))
+        assert e.unparse() == "[EDGE(?A, ?B).sign=-1]"

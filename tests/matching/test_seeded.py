@@ -1,0 +1,174 @@
+"""Tests for seeded (anchored) matching and embedding revalidation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PatternError
+from repro.graph.generators import erdos_renyi, preferential_attachment
+from repro.graph.graph import Graph
+from repro.matching import bruteforce_matches
+from repro.matching.pattern import Pattern
+from repro.matching.seeded import (
+    matches_using_edge,
+    matches_using_node,
+    seeded_matches,
+    validate_embedding,
+)
+
+
+def triangle():
+    p = Pattern("tri")
+    p.add_edge("A", "B")
+    p.add_edge("B", "C")
+    p.add_edge("A", "C")
+    return p
+
+
+class TestValidateEmbedding:
+    def test_valid_triangle(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        g.add_edge(1, 3)
+        assert validate_embedding(g, triangle(), {"A": 1, "B": 2, "C": 3})
+
+    def test_missing_edge_invalid(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        assert not validate_embedding(g, triangle(), {"A": 1, "B": 2, "C": 3})
+
+    def test_injectivity(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        p = Pattern("e")
+        p.add_edge("A", "B")
+        assert not validate_embedding(g, p, {"A": 1, "B": 1})
+
+    def test_label_change_invalidates(self):
+        g = Graph()
+        g.add_node(1, label="X")
+        g.add_node(2, label="X")
+        g.add_edge(1, 2)
+        p = Pattern("xx")
+        p.add_node("A", label="X")
+        p.add_node("B", label="X")
+        p.add_edge("A", "B")
+        mapping = {"A": 1, "B": 2}
+        assert validate_embedding(g, p, mapping)
+        g.set_node_attr(2, "label", "Y")
+        assert not validate_embedding(g, p, mapping)
+
+    def test_negated_edge_checked(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        p = Pattern("open")
+        p.add_edge("A", "B")
+        p.add_edge("B", "C")
+        p.add_edge("A", "C", negated=True)
+        mapping = {"A": 1, "B": 2, "C": 3}
+        assert validate_embedding(g, p, mapping)
+        g.add_edge(1, 3)
+        assert not validate_embedding(g, p, mapping)
+
+    def test_missing_node_invalid(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        p = Pattern("e")
+        p.add_edge("A", "B")
+        assert not validate_embedding(g, p, {"A": 1, "B": 99})
+
+
+class TestSeededMatches:
+    def test_pinned_edge_restricts(self):
+        g = Graph()
+        for u, v in [(1, 2), (2, 3), (1, 3), (3, 4), (4, 5), (3, 5)]:
+            g.add_edge(u, v)
+        out = seeded_matches(g, triangle(), {"A": 1, "B": 2})
+        assert all(m.image("A") == 1 and m.image("B") == 2 for m in out)
+        assert {m.image("C") for m in out} == {3}
+
+    def test_bad_seed_label(self):
+        g = Graph()
+        g.add_node(1, label="X")
+        p = Pattern("y")
+        p.add_node("A", label="Y")
+        assert seeded_matches(g, p, {"A": 1}) == []
+
+    def test_unknown_seed_variable(self):
+        g = Graph()
+        g.add_node(1)
+        with pytest.raises(PatternError):
+            seeded_matches(g, triangle(), {"Z": 1})
+
+    def test_seed_not_in_graph(self):
+        g = Graph()
+        g.add_node(1)
+        assert seeded_matches(g, triangle(), {"A": 99}) == []
+
+    def test_seeds_violating_structure(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_node(3)
+        # A and B pinned to non-adjacent nodes: no matches.
+        p = Pattern("e")
+        p.add_edge("A", "B")
+        assert seeded_matches(g, p, {"A": 1, "B": 3}) == []
+
+    @settings(max_examples=25)
+    @given(st.integers(6, 20), st.integers(0, 150))
+    def test_union_over_seeds_equals_bruteforce(self, n, seed):
+        g = erdos_renyi(n, min(2 * n, n * (n - 1) // 2), seed=seed)
+        all_embeddings = {
+            frozenset(m.mapping.items())
+            for m in bruteforce_matches(g, triangle(), distinct=False)
+        }
+        via_seeds = set()
+        for node in g.nodes():
+            for m in seeded_matches(g, triangle(), {"A": node}):
+                via_seeds.add(frozenset(m.mapping.items()))
+        assert via_seeds == all_embeddings
+
+
+class TestUsingHelpers:
+    def test_matches_using_edge_complete(self):
+        g = preferential_attachment(30, m=2, seed=4)
+        # Pick an edge that closes at least one triangle if any exist.
+        reference = bruteforce_matches(g, triangle(), distinct=False)
+        for u, v in list(g.edges())[:10]:
+            via = matches_using_edge(g, triangle(), u, v)
+            expect = {
+                frozenset(m.mapping.items())
+                for m in reference
+                if u in m.mapping.values() and v in m.mapping.values()
+            }
+            got = {frozenset(m.mapping.items()) for m in via}
+            # Every embedding containing both endpoints of an edge of a
+            # triangle pattern uses that edge (cliques use all edges).
+            assert got == expect
+
+    def test_matches_using_node_complete(self):
+        g = preferential_attachment(25, m=2, seed=5)
+        reference = bruteforce_matches(g, triangle(), distinct=False)
+        node = 0
+        got = {frozenset(m.mapping.items())
+               for m in matches_using_node(g, triangle(), node)}
+        expect = {
+            frozenset(m.mapping.items())
+            for m in reference
+            if node in m.mapping.values()
+        }
+        assert got == expect
+
+    def test_directed_pattern_seeding(self):
+        g = Graph(directed=True)
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        p = Pattern("p2")
+        p.add_edge("A", "B", directed=True)
+        p.add_edge("B", "C", directed=True)
+        out = matches_using_edge(g, p, 1, 2)
+        assert len(out) == 1
+        assert out[0].mapping == {"A": 1, "B": 2, "C": 3}

@@ -1,0 +1,99 @@
+"""Tests for the EXPLAIN statement and the engine's aggregate cache."""
+
+import pytest
+
+from repro.graph.generators import preferential_attachment
+from repro.graph.graph import Graph
+from repro.query.engine import QueryEngine
+
+
+class TestExplainStatement:
+    def test_explain_in_script_returns_plan_table(self):
+        g = preferential_attachment(20, m=2, seed=0)
+        eng = QueryEngine(g)
+        results = eng.execute_script(
+            "EXPLAIN SELECT ID, COUNTP(clq3-unlb, SUBGRAPH(ID, 2)) FROM nodes;"
+        )
+        assert len(results) == 1
+        table = results[0]
+        assert table.columns == ["plan"]
+        text = "\n".join(row[0] for row in table)
+        assert "SCAN nodes" in text and "CENSUS" in text
+
+    def test_explain_does_not_run_the_census(self):
+        g = preferential_attachment(20, m=2, seed=0)
+        eng = QueryEngine(g, cache=True)
+        eng.execute_script("EXPLAIN SELECT COUNTP(clq3-unlb, SUBGRAPH(ID, 2)) FROM nodes")
+        assert eng.cache_misses == 0  # no aggregate evaluated
+
+    def test_explain_mixed_with_select(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        eng = QueryEngine(g)
+        results = eng.execute_script(
+            """
+            EXPLAIN SELECT ID FROM nodes;
+            SELECT ID FROM nodes ORDER BY ID;
+            """
+        )
+        assert results[0].columns == ["plan"]
+        assert results[1].rows == [(1,), (2,)]
+
+
+class TestAggregateCache:
+    @pytest.fixture
+    def engine(self):
+        g = preferential_attachment(40, m=2, seed=1)
+        return QueryEngine(g, cache=True)
+
+    def test_repeat_query_hits_cache(self, engine):
+        q = "SELECT ID, COUNTP(clq3-unlb, SUBGRAPH(ID, 2)) FROM nodes"
+        first = engine.execute(q)
+        assert (engine.cache_hits, engine.cache_misses) == (0, 1)
+        second = engine.execute(q)
+        assert (engine.cache_hits, engine.cache_misses) == (1, 1)
+        assert first == second
+
+    def test_different_radius_misses(self, engine):
+        engine.execute("SELECT COUNTP(clq3-unlb, SUBGRAPH(ID, 1)) FROM nodes")
+        engine.execute("SELECT COUNTP(clq3-unlb, SUBGRAPH(ID, 2)) FROM nodes")
+        assert engine.cache_misses == 2
+
+    def test_different_focal_set_misses(self, engine):
+        engine.execute("SELECT COUNTP(clq3-unlb, SUBGRAPH(ID, 1)) FROM nodes")
+        engine.execute("SELECT COUNTP(clq3-unlb, SUBGRAPH(ID, 1)) FROM nodes WHERE ID < 5")
+        assert engine.cache_misses == 2
+
+    def test_pattern_redefinition_invalidates(self, engine):
+        q = "SELECT COUNTP(mine, SUBGRAPH(ID, 1)) FROM nodes"
+        engine.define_pattern("PATTERN mine {?A-?B;}")
+        engine.execute(q)
+        engine.define_pattern("PATTERN mine {?A-?B; ?B-?C;}")
+        engine.execute(q)
+        assert engine.cache_hits == 0
+        assert engine.cache_misses == 2
+
+    def test_clear_cache(self, engine):
+        q = "SELECT COUNTP(clq3-unlb, SUBGRAPH(ID, 1)) FROM nodes"
+        engine.execute(q)
+        engine.clear_cache()
+        engine.execute(q)
+        assert engine.cache_misses == 2
+
+    def test_disabled_by_default(self):
+        g = preferential_attachment(20, m=2, seed=2)
+        eng = QueryEngine(g)
+        q = "SELECT COUNTP(clq3-unlb, SUBGRAPH(ID, 1)) FROM nodes"
+        eng.execute(q)
+        eng.execute(q)
+        assert eng.cache_hits == 0 and eng.cache_misses == 0
+
+    def test_pairwise_cache(self):
+        g = preferential_attachment(15, m=2, seed=3)
+        eng = QueryEngine(g, cache=True)
+        q = ("SELECT n1.ID, COUNTP(single_node, SUBGRAPH-UNION(n1.ID, n2.ID, 1)) "
+             "FROM nodes AS n1, nodes AS n2 WHERE n1.ID < n2.ID")
+        a = eng.execute(q)
+        b = eng.execute(q)
+        assert a == b
+        assert eng.cache_hits == 1

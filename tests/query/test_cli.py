@@ -1,0 +1,112 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.graph.io import load_json
+
+
+def run_cli(args):
+    out = io.StringIO()
+    code = main(args, out=out)
+    return code, out.getvalue()
+
+
+class TestGenerate:
+    def test_pa_labeled(self, tmp_path):
+        path = tmp_path / "g.json"
+        code, text = run_cli(["generate", str(path), "--nodes", "50", "--m", "2"])
+        assert code == 0
+        assert "50 nodes" in text
+        g = load_json(path)
+        assert g.num_nodes == 50
+        assert len(g.labels()) == 4
+
+    def test_unlabeled(self, tmp_path):
+        path = tmp_path / "g.json"
+        run_cli(["generate", str(path), "--nodes", "30", "--labels", "0"])
+        assert load_json(path).labels() == {None}
+
+    def test_er_model(self, tmp_path):
+        path = tmp_path / "g.json"
+        run_cli(["generate", str(path), "--model", "er", "--nodes", "30", "--m", "2"])
+        assert load_json(path).num_edges == 60
+
+    def test_deterministic_seed(self, tmp_path):
+        p1, p2 = tmp_path / "a.json", tmp_path / "b.json"
+        run_cli(["generate", str(p1), "--nodes", "40", "--seed", "7"])
+        run_cli(["generate", str(p2), "--nodes", "40", "--seed", "7"])
+        assert p1.read_text() == p2.read_text()
+
+
+class TestStatsAndQuery:
+    @pytest.fixture
+    def graph_file(self, tmp_path):
+        path = tmp_path / "g.json"
+        run_cli(["generate", str(path), "--nodes", "60", "--m", "2", "--seed", "1"])
+        return str(path)
+
+    def test_stats(self, graph_file):
+        code, text = run_cli(["stats", graph_file])
+        assert code == 0
+        assert "nodes: 60" in text
+        assert "labels: 4" in text
+
+    def test_inline_query(self, graph_file):
+        code, text = run_cli([
+            "query", graph_file, "-e",
+            "SELECT ID, COUNTP(clq3-unlb, SUBGRAPH(ID, 1)) AS c "
+            "FROM nodes ORDER BY c DESC LIMIT 3",
+        ])
+        assert code == 0
+        assert "c" in text.splitlines()[0]
+
+    def test_script_file(self, graph_file, tmp_path):
+        script = tmp_path / "q.sql"
+        script.write_text(
+            "PATTERN wedge {?A-?B; ?B-?C;}\n"
+            "SELECT ID, COUNTP(wedge, SUBGRAPH(ID, 1)) FROM nodes LIMIT 2;\n"
+        )
+        code, text = run_cli(["query", graph_file, str(script)])
+        assert code == 0
+        assert "countp_wedge" in text
+
+    def test_query_requires_input(self, graph_file):
+        with pytest.raises(SystemExit):
+            run_cli(["query", graph_file])
+
+
+class TestBulkloadAndTopk:
+    def test_bulkload_then_query_db(self, tmp_path):
+        json_path = tmp_path / "g.json"
+        db_path = tmp_path / "g.db"
+        run_cli(["generate", str(json_path), "--nodes", "40", "--m", "2"])
+        code, text = run_cli(["bulkload", str(json_path), str(db_path)])
+        assert code == 0 and "bulk-loaded" in text
+        code, text = run_cli(["stats", str(db_path)])
+        assert code == 0 and "nodes: 40" in text
+
+    def test_topk(self, tmp_path):
+        path = tmp_path / "g.json"
+        run_cli(["generate", str(path), "--nodes", "80", "--m", "3", "--labels", "0"])
+        code, text = run_cli(["topk", str(path), "--pattern", "clq3-unlb",
+                              "--radius", "1", "-k", "3"])
+        assert code == 0
+        assert "top 3 egos" in text
+        assert len([l for l in text.splitlines() if l.startswith("  ")]) == 3
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            run_cli(["frobnicate"])
+
+    def test_explain_command(self, tmp_path):
+        path = tmp_path / "g.json"
+        run_cli(["generate", str(path), "--nodes", "30", "--m", "2"])
+        code, text = run_cli([
+            "explain", str(path),
+            "SELECT ID, COUNTP(clq3, SUBGRAPH(ID, 2)) FROM nodes",
+        ])
+        assert code == 0
+        assert "CENSUS" in text and "algorithm=" in text

@@ -1,0 +1,95 @@
+"""Edge-case coverage for the query engine."""
+
+import pytest
+
+from repro.errors import ParseError, QueryError
+from repro.graph.graph import Graph
+from repro.query.engine import QueryEngine
+
+
+@pytest.fixture
+def bowtie():
+    g = Graph()
+    for u, v in [(1, 2), (2, 3), (1, 3), (3, 4), (4, 5), (3, 5)]:
+        g.add_edge(u, v)
+    return g
+
+
+class TestPairQueriesWithNodeAggregates:
+    def test_subgraph_aggregate_inside_pair_query(self, bowtie):
+        """A COUNTP over SUBGRAPH(n1.ID, k) is legal in a pair query —
+        the census runs once per distinct n1 value."""
+        eng = QueryEngine(bowtie)
+        eng.define_pattern("PATTERN tri {?A-?B; ?B-?C; ?A-?C;}")
+        t = eng.execute(
+            "SELECT n1.ID, n2.ID, COUNTP(tri, SUBGRAPH(n1.ID, 1)) AS c "
+            "FROM nodes AS n1, nodes AS n2 "
+            "WHERE n1.ID = 3 AND n2.ID < 3 ORDER BY n2.ID"
+        )
+        assert [r[0] for r in t.rows] == [3, 3]
+        assert all(r[2] == 2 for r in t.rows)
+
+    def test_mixed_subgraph_and_pairwise_aggregates(self, bowtie):
+        eng = QueryEngine(bowtie)
+        t = eng.execute(
+            "SELECT n1.ID, n2.ID, "
+            "COUNTP(single_node, SUBGRAPH(n1.ID, 1)) AS around1, "
+            "COUNTP(single_node, SUBGRAPH-INTERSECTION(n1.ID, n2.ID, 1)) AS common "
+            "FROM nodes AS n1, nodes AS n2 WHERE n1.ID = 1 AND n2.ID = 2"
+        )
+        row = t.rows[0]
+        assert row[2] == 3  # |N_1(1)| = {1,2,3}
+        assert row[3] == 3  # N_1(1) == N_1(2) on the triangle
+
+
+class TestSortingErrors:
+    def test_order_by_unknown_column(self, bowtie):
+        eng = QueryEngine(bowtie)
+        with pytest.raises(QueryError, match="no column"):
+            eng.execute("SELECT ID FROM nodes ORDER BY nope")
+
+    def test_limit_zero(self, bowtie):
+        eng = QueryEngine(bowtie)
+        t = eng.execute("SELECT ID FROM nodes LIMIT 0")
+        assert len(t) == 0
+
+
+class TestParserBoundaries:
+    def test_parse_query_rejects_explain(self):
+        from repro.lang.parser import parse_query
+
+        with pytest.raises(ParseError):
+            parse_query("EXPLAIN SELECT ID FROM nodes")
+
+    def test_parse_query_rejects_pattern(self):
+        from repro.lang.parser import parse_query
+
+        with pytest.raises(ParseError):
+            parse_query("PATTERN p {?A;}")
+
+    def test_where_true_literal(self, bowtie):
+        eng = QueryEngine(bowtie)
+        t = eng.execute("SELECT ID FROM nodes WHERE TRUE")
+        assert len(t) == 5
+
+    def test_where_false_literal(self, bowtie):
+        eng = QueryEngine(bowtie)
+        t = eng.execute("SELECT ID FROM nodes WHERE FALSE")
+        assert len(t) == 0
+
+
+class TestEmptyGraph:
+    def test_queries_on_empty_graph(self):
+        eng = QueryEngine(Graph())
+        t = eng.execute("SELECT ID, COUNTP(clq3-unlb, SUBGRAPH(ID, 2)) FROM nodes")
+        assert len(t) == 0
+
+    def test_pair_query_on_singleton(self):
+        g = Graph()
+        g.add_node(1)
+        eng = QueryEngine(g)
+        t = eng.execute(
+            "SELECT n1.ID, COUNTP(single_node, SUBGRAPH-UNION(n1.ID, n2.ID, 1)) "
+            "FROM nodes AS n1, nodes AS n2 WHERE n1.ID != n2.ID"
+        )
+        assert len(t) == 0

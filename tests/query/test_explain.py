@@ -1,0 +1,68 @@
+"""Tests for query plan explanation."""
+
+import pytest
+
+from repro.graph.generators import labeled_preferential_attachment, preferential_attachment
+from repro.query.engine import QueryEngine
+
+
+class TestExplain:
+    def test_single_table_plan(self):
+        g = preferential_attachment(40, m=2, seed=0)
+        eng = QueryEngine(g)
+        plan = eng.explain("SELECT ID, COUNTP(clq3-unlb, SUBGRAPH(ID, 2)) FROM nodes")
+        assert "SCAN nodes" in plan
+        assert "algorithm=nd-pvot" in plan
+        assert "node-driven" in plan
+        assert "expected matches" in plan
+        assert "GRAPH: 40 nodes" in plan
+
+    def test_selective_pattern_picks_pattern_driven(self):
+        g = labeled_preferential_attachment(40, m=2, seed=0)
+        eng = QueryEngine(g)
+        plan = eng.explain("SELECT COUNTP(clq3, SUBGRAPH(ID, 2)) FROM nodes")
+        assert "algorithm=pt-opt" in plan
+        assert "pattern-driven" in plan
+
+    def test_pinned_algorithm_reported(self):
+        g = preferential_attachment(20, m=2, seed=0)
+        eng = QueryEngine(g, algorithm="pt-bas")
+        plan = eng.explain("SELECT COUNTP(clq3-unlb, SUBGRAPH(ID, 1)) FROM nodes")
+        assert "algorithm=pt-bas" in plan
+        assert "pinned" in plan
+
+    def test_pair_query_plan(self):
+        g = preferential_attachment(20, m=2, seed=0)
+        eng = QueryEngine(g)
+        plan = eng.explain(
+            "SELECT n1.ID, COUNTP(single_edge, SUBGRAPH-INTERSECTION(n1.ID, n2.ID, 1)) "
+            "FROM nodes AS n1, nodes AS n2 WHERE n1.ID > n2.ID"
+        )
+        assert "SCAN pairs" in plan
+        assert "PAIRWISE CENSUS" in plan
+        assert "intersection" in plan
+        assert "filtered by WHERE" in plan
+
+    def test_subpattern_and_sort_reported(self):
+        g = preferential_attachment(20, m=2, seed=0)
+        eng = QueryEngine(g)
+        eng.define_pattern(
+            "PATTERN triad {?A->?B; ?B->?C; ?A!->?C; SUBPATTERN mid {?B;}}"
+        )
+        plan = eng.explain(
+            "SELECT ID, COUNTSP(mid, triad, SUBGRAPH(ID, 0)) AS c FROM nodes "
+            "ORDER BY c DESC LIMIT 5"
+        )
+        assert "SUBPATTERN mid" in plan
+        assert "SORT BY c DESC" in plan
+        assert "LIMIT 5" in plan
+        assert "1 negated" in plan
+
+    def test_explain_does_not_execute(self):
+        # A graph where execution would be slow-ish; explain is instant
+        # and, more importantly, has no side effects on the engine.
+        g = preferential_attachment(30, m=2, seed=1)
+        eng = QueryEngine(g)
+        before = eng.catalog.names()
+        eng.explain("SELECT COUNTP(clq4-unlb, SUBGRAPH(ID, 3)) FROM nodes")
+        assert eng.catalog.names() == before

@@ -1,0 +1,90 @@
+"""Tests for ResultTable."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.result import ResultTable
+
+
+@pytest.fixture
+def table():
+    return ResultTable(["ID", "count"], [(1, 5), (2, 9), (3, 1)])
+
+
+class TestBasics:
+    def test_width_checked(self):
+        with pytest.raises(QueryError):
+            ResultTable(["a"], [(1, 2)])
+
+    def test_column_access_case_insensitive(self, table):
+        assert table.column("id") == [1, 2, 3]
+        assert table.column("COUNT") == [5, 9, 1]
+
+    def test_unknown_column(self, table):
+        with pytest.raises(QueryError):
+            table.column("nope")
+
+    def test_to_dicts(self, table):
+        assert table.to_dicts()[0] == {"ID": 1, "count": 5}
+
+    def test_iteration_and_len(self, table):
+        assert len(table) == 3
+        assert list(table)[1] == (2, 9)
+        assert table[0] == (1, 5)
+
+
+class TestSorting:
+    def test_sorted_by(self, table):
+        assert table.sorted_by("count").column("count") == [1, 5, 9]
+        assert table.sorted_by("count", descending=True).column("count") == [9, 5, 1]
+
+    def test_top(self, table):
+        top = table.top(2, by="count")
+        assert top.rows == [(2, 9), (1, 5)]
+
+    def test_head(self, table):
+        assert table.head(1).rows == [(1, 5)]
+
+    def test_sort_does_not_mutate(self, table):
+        table.sorted_by("count")
+        assert table.rows[0] == (1, 5)
+
+
+class TestSerialization:
+    def test_csv_round_trip(self, table, tmp_path):
+        import csv
+
+        path = tmp_path / "t.csv"
+        table.to_csv(path)
+        with open(path) as f:
+            rows = list(csv.reader(f))
+        assert rows[0] == ["ID", "count"]
+        assert rows[1] == ["1", "5"]
+        assert len(rows) == 4
+
+    def test_json_round_trip(self, table):
+        text = table.to_json()
+        back = ResultTable.from_json(text)
+        assert back == table
+
+    def test_json_writes_file(self, table, tmp_path):
+        path = tmp_path / "t.json"
+        table.to_json(path)
+        assert ResultTable.from_json(path.read_text()) == table
+
+
+class TestRendering:
+    def test_render_contains_all_cells(self, table):
+        text = table.render()
+        for cell in ("ID", "count", "1", "9"):
+            assert cell in text
+
+    def test_render_truncates(self):
+        t = ResultTable(["x"], [(i,) for i in range(30)])
+        text = t.render(max_rows=5)
+        assert "more rows" in text
+
+    def test_equality(self, table):
+        same = ResultTable(["ID", "count"], [(1, 5), (2, 9), (3, 1)])
+        assert table == same
+        assert table != ResultTable(["ID", "count"], [(1, 5)])

@@ -1,0 +1,38 @@
+"""Tests for GraphStatistics."""
+
+from repro.graph.generators import labeled_preferential_attachment
+from repro.graph.graph import Graph
+from repro.query.statistics import GraphStatistics
+
+
+class TestStatistics:
+    def test_counts(self):
+        g = labeled_preferential_attachment(100, m=3, seed=1)
+        stats = GraphStatistics(g)
+        assert stats.num_nodes == 100
+        assert stats.num_edges == g.num_edges
+        assert stats.num_labels == 4
+        assert stats.max_degree >= stats.avg_degree
+
+    def test_label_selectivity(self):
+        g = Graph()
+        g.add_node(1, label="A")
+        g.add_node(2, label="A")
+        g.add_node(3, label="B")
+        g.add_node(4)
+        stats = GraphStatistics(g)
+        assert stats.label_selectivity("A") == 0.5
+        assert stats.label_selectivity("Z") == 0.0
+
+    def test_empty_graph(self):
+        stats = GraphStatistics(Graph())
+        assert stats.num_nodes == 0
+        assert stats.avg_degree == 0.0
+        assert stats.label_selectivity("A") == 0.0
+
+    def test_summary_keys(self):
+        g = Graph(directed=True)
+        g.add_edge(1, 2)
+        s = GraphStatistics(g).summary()
+        assert s["directed"] is True
+        assert set(s) == {"nodes", "edges", "avg_degree", "max_degree", "labels", "directed"}

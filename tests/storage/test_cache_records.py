@@ -1,0 +1,133 @@
+"""Tests for the LRU buffer pool and the record log."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.cache import LRUPageCache, page_span
+from repro.storage.pager import PAGE_SIZE, Pager
+from repro.storage.records import RecordLog
+
+
+@pytest.fixture
+def pager(tmp_path):
+    p = Pager(tmp_path / "s.db", create=True)
+    yield p
+    p.close()
+
+
+class TestCache:
+    def test_hit_after_miss(self, pager):
+        cache = LRUPageCache(pager, capacity=4)
+        cache.get(1)
+        cache.get(1)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction_writes_back_dirty(self, pager):
+        cache = LRUPageCache(pager, capacity=2)
+        page = cache.get(1)
+        page[0] = 0xAB
+        cache.mark_dirty(1)
+        cache.get(2)
+        cache.get(3)  # evicts page 1
+        assert cache.evictions == 1
+        assert pager.read_page(1)[0] == 0xAB
+
+    def test_flush_keeps_pages_resident(self, pager):
+        cache = LRUPageCache(pager, capacity=4)
+        page = cache.get(1)
+        page[1] = 7
+        cache.mark_dirty(1)
+        cache.flush()
+        assert pager.read_page(1)[1] == 7
+        assert len(cache) == 1
+
+    def test_capacity_bound(self, pager):
+        cache = LRUPageCache(pager, capacity=3)
+        for i in range(10):
+            cache.get(i)
+        assert len(cache) == 3
+
+    def test_invalid_capacity(self, pager):
+        with pytest.raises(ValueError):
+            LRUPageCache(pager, capacity=0)
+
+    def test_stats_shape(self, pager):
+        cache = LRUPageCache(pager, capacity=2)
+        cache.get(0)
+        s = cache.stats()
+        assert set(s) == {"hits", "misses", "evictions", "resident", "capacity"}
+
+    def test_page_span(self):
+        assert page_span(0, 10) == (0, 0)
+        assert page_span(PAGE_SIZE - 1, 2) == (0, 1)
+        assert page_span(PAGE_SIZE, PAGE_SIZE) == (1, 1)
+
+
+class TestRecordLog:
+    def test_append_read_round_trip(self, pager):
+        log = RecordLog(pager)
+        off = log.append(b"hello world")
+        assert log.read(off) == b"hello world"
+
+    def test_records_span_pages(self, pager):
+        log = RecordLog(pager)
+        big = bytes(range(256)) * 64  # 16 KiB > one page
+        off = log.append(big)
+        assert log.read(off) == big
+
+    def test_many_records_sequential(self, pager):
+        log = RecordLog(pager)
+        offsets = [log.append(f"record-{i}".encode()) for i in range(500)]
+        for i, off in enumerate(offsets):
+            assert log.read(off) == f"record-{i}".encode()
+
+    def test_json_round_trip(self, pager):
+        log = RecordLog(pager)
+        doc = {"id": 3, "a": {"label": "X"}, "adj": [[1, None], [2, {"w": 1}]]}
+        off = log.append_json(doc)
+        assert log.read_json(off) == doc
+
+    def test_offset_out_of_range(self, pager):
+        log = RecordLog(pager)
+        with pytest.raises(StorageError):
+            log.read(0)  # header page
+        with pytest.raises(StorageError):
+            log.read(10 ** 9)
+
+    def test_flush_commits_tail(self, tmp_path):
+        path = tmp_path / "s.db"
+        p = Pager(path, create=True)
+        log = RecordLog(p)
+        off = log.append(b"x" * 100)
+        log.flush()
+        p.close()
+        q = Pager(path)
+        log2 = RecordLog(q)
+        assert log2.read(off) == b"x" * 100
+        q.close()
+
+    def test_unflushed_append_not_visible_after_reopen(self, tmp_path):
+        path = tmp_path / "s.db"
+        p = Pager(path, create=True)
+        log = RecordLog(p)
+        log.append(b"committed")
+        log.flush()
+        uncommitted = log.append(b"torn")
+        p._file.flush()  # bytes may hit disk, but the header tail doesn't
+        p._file.close()
+        q = Pager(path)
+        log2 = RecordLog(q)
+        with pytest.raises(StorageError):
+            log2.read(uncommitted)
+        q.close()
+
+    @given(st.lists(st.binary(min_size=0, max_size=5000), min_size=1, max_size=30))
+    def test_property_round_trip(self, tmp_path_factory, payloads):
+        path = tmp_path_factory.mktemp("log") / "s.db"
+        with Pager(path, create=True) as p:
+            log = RecordLog(p, cache_pages=4)  # tiny cache to force evictions
+            offsets = [log.append(b) for b in payloads]
+            for payload, off in zip(payloads, offsets):
+                assert log.read(off) == payload

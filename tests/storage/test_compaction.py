@@ -1,0 +1,47 @@
+"""Tests for store compaction."""
+
+from repro.graph.generators import labeled_preferential_attachment
+from repro.storage import DiskGraph
+
+
+class TestCompaction:
+    def test_compaction_preserves_graph(self, tmp_path):
+        mem = labeled_preferential_attachment(50, m=2, seed=1)
+        store = DiskGraph.create(tmp_path / "a.db", mem)
+        compacted = store.compact(tmp_path / "b.db")
+        assert compacted.num_nodes == store.num_nodes
+        assert compacted.num_edges == store.num_edges
+        for n in mem.nodes():
+            assert set(compacted.neighbors(n)) == set(mem.neighbors(n))
+            assert dict(compacted.node_attrs(n)) == dict(mem.node_attrs(n))
+
+    def test_compaction_shrinks_churned_store(self, tmp_path):
+        store = DiskGraph.create(tmp_path / "a.db")
+        for i in range(30):
+            store.add_node(i)
+        # Churn: repeatedly rewrite node attributes, leaving dead versions.
+        for round_no in range(20):
+            for i in range(30):
+                store.set_node_attr(i, "v", round_no)
+        store.flush()
+        before = store.file_size()
+        compacted = store.compact(tmp_path / "b.db")
+        assert compacted.file_size() < before / 2
+        assert all(compacted.node_attr(i, "v") == 19 for i in range(30))
+
+    def test_compacted_store_reopens(self, tmp_path):
+        mem = labeled_preferential_attachment(20, m=2, seed=3)
+        store = DiskGraph.create(tmp_path / "a.db", mem)
+        store.compact(tmp_path / "b.db").close()
+        reopened = DiskGraph.open(tmp_path / "b.db")
+        assert reopened.num_nodes == 20
+
+    def test_compaction_preserves_direction_and_edge_attrs(self, tmp_path):
+        from repro.graph.graph import Graph
+
+        g = Graph(directed=True)
+        g.add_edge("a", "b", w=4)
+        store = DiskGraph.create(tmp_path / "a.db", g)
+        compacted = store.compact(tmp_path / "b.db")
+        assert compacted.directed
+        assert compacted.edge_attr("a", "b", "w") == 4

@@ -1,0 +1,138 @@
+"""Tests for DiskGraph: API parity with the in-memory graph, durability,
+and algorithm compatibility."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EdgeNotFoundError, GraphError, NodeNotFoundError
+from repro.graph.generators import labeled_preferential_attachment
+from repro.graph.graph import Graph
+from repro.storage import DiskGraph
+
+
+def assert_same_graph(mem, disk):
+    assert disk.directed == mem.directed
+    assert disk.num_nodes == mem.num_nodes
+    assert disk.num_edges == mem.num_edges
+    for n in mem.nodes():
+        assert disk.has_node(n)
+        assert dict(disk.node_attrs(n)) == dict(mem.node_attrs(n))
+        assert set(disk.neighbors(n)) == set(mem.neighbors(n))
+        if mem.directed:
+            assert set(disk.out_neighbors(n)) == set(mem.out_neighbors(n))
+            assert set(disk.in_neighbors(n)) == set(mem.in_neighbors(n))
+    for u, v in mem.edges():
+        assert disk.has_edge(u, v)
+        assert dict(disk.edge_attrs(u, v)) == dict(mem.edge_attrs(u, v))
+
+
+class TestBulkLoadAndReopen:
+    def test_round_trip_undirected(self, tmp_path):
+        mem = labeled_preferential_attachment(80, m=2, seed=1)
+        store = DiskGraph.create(tmp_path / "g.db", mem)
+        assert_same_graph(mem, store)
+        store.close()
+        reopened = DiskGraph.open(tmp_path / "g.db")
+        assert_same_graph(mem, reopened)
+
+    def test_round_trip_directed_with_edge_attrs(self, tmp_path):
+        mem = Graph(directed=True)
+        mem.add_edge("a", "b", w=1)
+        mem.add_edge("b", "a", w=2)
+        mem.add_edge("b", "c", w=3)
+        mem.add_node("a", label="X")
+        store = DiskGraph.create(tmp_path / "d.db", mem)
+        store.close()
+        assert_same_graph(mem, DiskGraph.open(tmp_path / "d.db"))
+
+    @settings(max_examples=15)
+    @given(st.integers(5, 40), st.integers(0, 100))
+    def test_property_round_trip(self, tmp_path_factory, n, seed):
+        mem = labeled_preferential_attachment(n, m=2, seed=seed)
+        path = tmp_path_factory.mktemp("dg") / "g.db"
+        store = DiskGraph.create(path, mem)
+        store.close()
+        assert_same_graph(mem, DiskGraph.open(path))
+
+
+class TestMutations:
+    def test_incremental_build(self, tmp_path):
+        store = DiskGraph.create(tmp_path / "g.db")
+        store.add_node(1, label="A")
+        store.add_edge(1, 2, sign=-1)
+        store.add_edge(2, 3)
+        assert store.num_nodes == 3
+        assert store.num_edges == 2
+        assert store.edge_attr(1, 2, "sign") == -1
+        assert store.neighbors(2) == {1, 3}
+
+    def test_add_edge_idempotent_merges_attrs(self, tmp_path):
+        store = DiskGraph.create(tmp_path / "g.db")
+        store.add_edge(1, 2, w=1)
+        store.add_edge(2, 1, s=9)
+        assert store.num_edges == 1
+        assert store.edge_attrs(1, 2) == {"w": 1, "s": 9}
+
+    def test_set_node_attr_persists(self, tmp_path):
+        store = DiskGraph.create(tmp_path / "g.db")
+        store.add_node(1)
+        store.set_node_attr(1, "label", "Q")
+        store.close()
+        assert DiskGraph.open(tmp_path / "g.db").label(1) == "Q"
+
+    def test_unflushed_changes_lost_on_crash(self, tmp_path):
+        path = tmp_path / "g.db"
+        store = DiskGraph.create(path)
+        store.add_node(1)
+        store.flush()
+        store.add_node(2)  # never flushed
+        store._pager._file.close()  # simulated crash
+        reopened = DiskGraph.open(path)
+        assert reopened.has_node(1)
+        assert not reopened.has_node(2)
+
+    def test_self_loop_rejected(self, tmp_path):
+        store = DiskGraph.create(tmp_path / "g.db")
+        with pytest.raises(GraphError):
+            store.add_edge(1, 1)
+
+    def test_non_json_node_id_rejected(self, tmp_path):
+        store = DiskGraph.create(tmp_path / "g.db")
+        with pytest.raises(GraphError):
+            store.add_node((1, 2))
+
+    def test_missing_node_and_edge(self, tmp_path):
+        store = DiskGraph.create(tmp_path / "g.db")
+        store.add_edge(1, 2)
+        with pytest.raises(NodeNotFoundError):
+            store.node_attrs(99)
+        with pytest.raises(EdgeNotFoundError):
+            store.edge_attrs(1, 99)
+
+
+class TestAlgorithmParity:
+    def test_matching_and_census_identical(self, tmp_path):
+        from repro.census import census
+        from repro.matching import cn_matches
+        from repro.matching.pattern import Pattern
+
+        mem = labeled_preferential_attachment(70, m=2, seed=9)
+        disk = DiskGraph.create(tmp_path / "g.db", mem)
+        p = Pattern("tri")
+        p.add_edge("A", "B")
+        p.add_edge("B", "C")
+        p.add_edge("A", "C")
+        assert len(cn_matches(mem, p)) == len(cn_matches(disk, p))
+        for algorithm in ("nd-pvot", "pt-opt"):
+            assert census(mem, p, 2, algorithm=algorithm) == census(
+                disk, p, 2, algorithm=algorithm
+            )
+
+    def test_cache_stats_accumulate(self, tmp_path):
+        mem = labeled_preferential_attachment(50, m=2, seed=2)
+        disk = DiskGraph.create(tmp_path / "g.db", mem, cache_pages=4)
+        for n in list(disk.nodes())[:20]:
+            disk.neighbors(n)
+        stats = disk.cache_stats()
+        assert stats["hits"] + stats["misses"] > 0

@@ -1,0 +1,78 @@
+"""Model-based stateful testing of DiskGraph.
+
+A random interleaving of graph mutations is applied simultaneously to
+the disk store and to the in-memory Graph (the model); every read API
+must agree at every step, and a flush + reopen must preserve the full
+state.
+"""
+
+import tempfile
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.graph.graph import Graph
+from repro.storage import DiskGraph
+
+NODE_IDS = st.integers(0, 14)
+LABELS = st.sampled_from(["A", "B", "C"])
+
+
+class DiskGraphMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.tmp = tempfile.mkdtemp()
+        self.disk = DiskGraph.create(f"{self.tmp}/g.db", cache_pages=4, record_cache=4)
+        self.model = Graph()
+
+    @rule(node=NODE_IDS, label=LABELS)
+    def add_node(self, node, label):
+        self.disk.add_node(node, label=label)
+        self.model.add_node(node, label=label)
+
+    @rule(u=NODE_IDS, v=NODE_IDS, weight=st.integers(0, 9))
+    def add_edge(self, u, v, weight):
+        if u == v:
+            return
+        self.disk.add_edge(u, v, weight=weight)
+        self.model.add_edge(u, v, weight=weight)
+
+    @rule(node=NODE_IDS, value=st.integers(0, 99))
+    def set_attr(self, node, value):
+        if not self.model.has_node(node):
+            return
+        self.disk.set_node_attr(node, "score", value)
+        self.model.set_node_attr(node, "score", value)
+
+    @rule()
+    def flush_and_reopen(self):
+        self.disk.close()
+        self.disk = DiskGraph.open(f"{self.tmp}/g.db", cache_pages=4, record_cache=4)
+
+    @invariant()
+    def same_shape(self):
+        assert self.disk.num_nodes == self.model.num_nodes
+        assert self.disk.num_edges == self.model.num_edges
+
+    @invariant()
+    def same_content(self):
+        for n in self.model.nodes():
+            assert self.disk.has_node(n)
+            assert dict(self.disk.node_attrs(n)) == dict(self.model.node_attrs(n))
+            assert set(self.disk.neighbors(n)) == set(self.model.neighbors(n))
+        for u, v in self.model.edges():
+            assert self.disk.has_edge(u, v)
+            assert dict(self.disk.edge_attrs(u, v)) == dict(self.model.edge_attrs(u, v))
+
+    def teardown(self):
+        try:
+            self.disk.close()
+        except Exception:
+            pass
+
+
+TestDiskGraphModel = DiskGraphMachine.TestCase
+TestDiskGraphModel.settings = settings(
+    max_examples=20, stateful_step_count=25, deadline=None
+)

@@ -1,0 +1,70 @@
+"""Tests for the page-level file format."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.pager import PAGE_SIZE, Pager
+
+
+class TestHeader:
+    def test_create_and_reopen(self, tmp_path):
+        path = tmp_path / "s.db"
+        p = Pager(path, create=True, directed=True)
+        p.log_end = 2 * PAGE_SIZE + 17
+        p.dir_offset = PAGE_SIZE + 5
+        p.write_header()
+        p.close()
+        q = Pager(path)
+        assert q.directed is True
+        assert q.log_end == 2 * PAGE_SIZE + 17
+        assert q.dir_offset == PAGE_SIZE + 5
+        q.close()
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "junk.db"
+        path.write_bytes(b"not a store" + b"\x00" * PAGE_SIZE)
+        with pytest.raises(StorageError, match="magic"):
+            Pager(path)
+
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "tiny.db"
+        path.write_bytes(b"xx")
+        with pytest.raises(StorageError):
+            Pager(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            Pager(tmp_path / "absent.db")
+
+
+class TestPages:
+    def test_round_trip(self, tmp_path):
+        p = Pager(tmp_path / "s.db", create=True)
+        data = bytes(range(256)) * (PAGE_SIZE // 256)
+        p.write_page(3, data)
+        assert p.read_page(3) == data
+        p.close()
+
+    def test_read_past_eof_zero_padded(self, tmp_path):
+        p = Pager(tmp_path / "s.db", create=True)
+        assert p.read_page(99) == b"\x00" * PAGE_SIZE
+        p.close()
+
+    def test_wrong_size_rejected(self, tmp_path):
+        p = Pager(tmp_path / "s.db", create=True)
+        with pytest.raises(StorageError):
+            p.write_page(1, b"short")
+        p.close()
+
+    def test_num_pages(self, tmp_path):
+        p = Pager(tmp_path / "s.db", create=True)
+        assert p.num_pages() == 1  # header
+        p.write_page(4, b"\x00" * PAGE_SIZE)
+        assert p.num_pages() == 5
+        p.close()
+
+    def test_context_manager(self, tmp_path):
+        with Pager(tmp_path / "s.db", create=True) as p:
+            p.write_page(1, b"\x01" * PAGE_SIZE)
+        with Pager(tmp_path / "s.db") as q:
+            assert q.read_page(1)[0] == 1

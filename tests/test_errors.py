@@ -1,0 +1,61 @@
+"""Tests for the exception hierarchy and package metadata."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    CensusError,
+    EdgeNotFoundError,
+    GraphError,
+    NodeNotFoundError,
+    ParseError,
+    PatternError,
+    QueryError,
+    ReproError,
+    StorageError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_type", [
+        GraphError, StorageError, PatternError, ParseError, QueryError, CensusError,
+    ])
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_not_found_errors_are_key_errors(self):
+        # So dict-style call sites can catch KeyError if they prefer.
+        assert issubclass(NodeNotFoundError, KeyError)
+        assert issubclass(EdgeNotFoundError, KeyError)
+        assert issubclass(NodeNotFoundError, GraphError)
+
+    def test_node_not_found_carries_node(self):
+        err = NodeNotFoundError(42)
+        assert err.node == 42
+        assert "42" in str(err)
+
+    def test_parse_error_location_formatting(self):
+        err = ParseError("bad token", line=3, column=7)
+        assert "line 3" in str(err) and "column 7" in str(err)
+        assert (err.line, err.column) == (3, 7)
+        bare = ParseError("oops")
+        assert "line" not in str(bare)
+
+
+class TestPackage:
+    def test_version_exposed(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_lazy_exports_resolve(self):
+        assert repro.Graph is not None
+        assert repro.census is not None
+        assert callable(repro.find_matches)
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.definitely_not_a_thing
+
+    def test_dir_lists_lazy_names(self):
+        listing = dir(repro)
+        assert "QueryEngine" in listing
+        assert "census" in listing

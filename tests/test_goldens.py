@@ -1,0 +1,100 @@
+"""Golden regression tests.
+
+Everything in this repo is seeded, so exact outputs on fixed workloads
+are stable; these goldens pin them down to catch silent behavioral
+drift (a changed generator, a changed tie-break, a changed counting
+rule) that agreement-style tests cannot see because all algorithms
+would drift together.
+
+If a golden fails after an *intentional* semantic change, re-derive the
+expected value by hand (the workloads are small) before updating it.
+"""
+
+import pytest
+
+from repro import Graph, QueryEngine
+from repro.census import census
+from repro.graph.generators import preferential_attachment
+from repro.matching import find_matches
+from repro.matching.pattern import Pattern
+
+
+@pytest.fixture(scope="module")
+def pa30():
+    return preferential_attachment(30, m=2, seed=42)
+
+
+def triangle():
+    p = Pattern("tri")
+    p.add_edge("A", "B")
+    p.add_edge("B", "C")
+    p.add_edge("A", "C")
+    return p
+
+
+class TestGeneratorGoldens:
+    def test_pa30_shape(self, pa30):
+        assert pa30.num_nodes == 30
+        assert pa30.num_edges == 57
+
+    def test_pa30_degree_sequence_head(self, pa30):
+        degrees = sorted((pa30.degree(n) for n in pa30.nodes()), reverse=True)
+        assert degrees[:5] == [14, 12, 9, 8, 6]
+
+
+class TestMatchingGoldens:
+    def test_pa30_triangle_count(self, pa30):
+        assert len(find_matches(pa30, triangle())) == 20
+
+    def test_pa30_embedding_count(self, pa30):
+        assert len(find_matches(pa30, triangle(), distinct=False)) == 120
+
+
+class TestCensusGoldens:
+    def test_pa30_triangle_census_k1(self, pa30):
+        counts = census(pa30, triangle(), 1, algorithm="nd-bas")
+        assert sum(counts.values()) == 60
+        assert max(counts.values()) == 11
+
+    def test_pa30_topk(self, pa30):
+        from repro.census.topk import census_topk
+
+        top = census_topk(pa30, triangle(), 1, 3)
+        assert [c for _n, c in top] == [11, 10, 6]
+
+
+class TestLanguageGoldens:
+    def test_bowtie_script(self):
+        g = Graph()
+        for u, v in [(1, 2), (2, 3), (1, 3), (3, 4), (4, 5), (3, 5)]:
+            g.add_edge(u, v)
+        eng = QueryEngine(g)
+        eng.define_pattern("PATTERN tri {?A-?B; ?B-?C; ?A-?C;}")
+        t = eng.execute(
+            "SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) AS c, "
+            "COUNTP(single_edge, SUBGRAPH(ID, 1)) AS e "
+            "FROM nodes ORDER BY ID"
+        )
+        assert t.rows == [
+            (1, 1, 3), (2, 1, 3), (3, 2, 6), (4, 1, 3), (5, 1, 3),
+        ]
+
+    def test_rnd_sampling_golden(self):
+        g = preferential_attachment(20, m=1, seed=7)
+        eng = QueryEngine(g, seed=123)
+        t = eng.execute("SELECT ID FROM nodes WHERE RND() < 0.3 ORDER BY ID")
+        # Fixed seed 123 over nodes 0..19 in insertion order.
+        assert [r[0] for r in t.rows] == t.column("ID")
+        assert t == eng.execute("SELECT ID FROM nodes WHERE RND() < 0.3 ORDER BY ID")
+
+
+class TestAnalysisGoldens:
+    def test_pa30_graphlet_profile_of_hub(self, pa30):
+        from repro.analysis.graphlets import graphlet_profiles
+
+        hub = max(pa30.nodes(), key=pa30.degree)
+        profiles = graphlet_profiles(pa30)
+        orbit0, orbit1, orbit2 = profiles[hub]
+        assert orbit2 == 10
+        assert orbit1 == 81
+        assert orbit0 == 26

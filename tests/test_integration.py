@@ -1,0 +1,118 @@
+"""Cross-subsystem integration tests: language -> engine -> census ->
+storage, exercised together the way a downstream user would."""
+
+import pytest
+
+from repro import Graph, QueryEngine
+from repro.graph.generators import labeled_preferential_attachment, signed_network
+from repro.storage import DiskGraph
+
+
+class TestFullPipeline:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return labeled_preferential_attachment(120, m=3, seed=17)
+
+    def test_script_with_patterns_queries_and_topk_style_sort(self, graph):
+        eng = QueryEngine(graph)
+        results = eng.execute_script(
+            """
+            PATTERN wedge {?A-?B; ?B-?C; ?A!-?C;}
+            PATTERN labeled_pair {?A-?B; [?A.LABEL=?B.LABEL];}
+
+            SELECT ID, COUNTP(wedge, SUBGRAPH(ID, 1)) AS open_triads,
+                   COUNTP(labeled_pair, SUBGRAPH(ID, 1)) AS homophily
+            FROM nodes
+            ORDER BY open_triads DESC
+            LIMIT 10;
+            """
+        )
+        table = results[0]
+        assert table.columns == ["ID", "open_triads", "homophily"]
+        assert len(table) == 10
+        opens = table.column("open_triads")
+        assert opens == sorted(opens, reverse=True)
+
+    def test_language_census_matches_programmatic_census(self, graph):
+        from repro.census import census
+        from repro.lang.parser import parse_pattern
+
+        pattern = parse_pattern("PATTERN tri {?A-?B; ?B-?C; ?A-?C;}")
+        expected = census(graph, pattern, 2, algorithm="nd-bas")
+        eng = QueryEngine(graph, algorithm="pt-opt")
+        eng.define_pattern(pattern)
+        table = eng.execute("SELECT ID, COUNTP(tri, SUBGRAPH(ID, 2)) FROM nodes")
+        got = dict(table.rows)
+        assert got == expected
+
+    def test_same_script_memory_vs_disk(self, graph, tmp_path):
+        store = DiskGraph.create(tmp_path / "g.db", graph)
+        script = (
+            "PATTERN duo {?A-?B; [?A.LABEL='A']; [?B.LABEL='B'];}\n"
+            "SELECT ID, COUNTP(duo, SUBGRAPH(ID, 2)) FROM nodes ORDER BY ID;"
+        )
+        mem_result = QueryEngine(graph).execute_script(script)
+        disk_result = QueryEngine(store).execute_script(script)
+        assert mem_result == disk_result
+
+    def test_where_rnd_selectivity_controls_row_count(self, graph):
+        eng = QueryEngine(graph, seed=3)
+        full = eng.execute("SELECT ID FROM nodes")
+        sampled = eng.execute("SELECT ID FROM nodes WHERE RND() < 0.25")
+        assert 0 < len(sampled) < len(full)
+        # Roughly a quarter (binomial, generous bounds).
+        assert 0.1 * len(full) < len(sampled) < 0.45 * len(full)
+
+
+class TestApplicationsEndToEnd:
+    def test_signed_network_instability_via_language(self):
+        g = signed_network(60, m=2, negative_fraction=0.4, seed=3)
+        eng = QueryEngine(g)
+        eng.execute_script(
+            """
+            PATTERN one_neg {
+                ?A-?B; ?B-?C; ?A-?C;
+                [EDGE(?A,?B).sign=-1];
+                [EDGE(?B,?C).sign=1];
+                [EDGE(?A,?C).sign=1];
+            }
+            """
+        )
+        table = eng.execute("SELECT ID, COUNTP(one_neg, SUBGRAPH(ID, 1)) FROM nodes")
+        from repro.analysis.balance import signed_triangle_pattern
+        from repro.census import census
+
+        expected = census(g, signed_triangle_pattern(1), 1, algorithm="nd-bas")
+        assert dict(table.rows) == expected
+
+    def test_pairwise_union_query_on_couples(self):
+        g = Graph()
+        g.add_edge(1, 2, rel="married")
+        g.add_edge(3, 4, rel="married")
+        g.add_edge(2, 3, rel="friend")
+        eng = QueryEngine(g)
+        eng.execute_script(
+            "PATTERN couple {?A-?B; [EDGE(?A,?B).rel='married'];}"
+        )
+        table = eng.execute(
+            "SELECT n1.ID, n2.ID, "
+            "COUNTP(couple, SUBGRAPH-UNION(n1.ID, n2.ID, 1)) AS couples "
+            "FROM nodes AS n1, nodes AS n2 WHERE n1.ID = 1 AND n2.ID = 2"
+        )
+        # Union of N1(1) and N1(2) = {1,2,3}: only the 1-2 couple.
+        assert table.rows == [(1, 2, 1)]
+
+    def test_topk_cli_pipeline(self, tmp_path):
+        from repro.cli import main
+        import io
+
+        json_path = tmp_path / "g.json"
+        db_path = tmp_path / "g.db"
+        out = io.StringIO()
+        main(["generate", str(json_path), "--nodes", "80", "--m", "3",
+              "--labels", "0", "--seed", "2"], out=out)
+        main(["bulkload", str(json_path), str(db_path)], out=out)
+        main(["topk", str(db_path), "--pattern", "clq3-unlb", "--radius", "1",
+              "-k", "5"], out=out)
+        text = out.getvalue()
+        assert "top 5 egos" in text

@@ -7,7 +7,7 @@
   than the exact pattern-driven pass at scale.
 """
 
-from repro.bench.harness import Sweep, time_call
+from repro.bench.harness import Sweep
 from repro.bench.reporting import render_series
 from repro.census import census
 from repro.census.approx import approximate_census

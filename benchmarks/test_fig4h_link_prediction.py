@@ -77,8 +77,6 @@ def test_fig4h_runtime(benchmark, record_figure):
     """Section V-B runtime comparison: node-driven vs pattern-driven
     pairwise evaluation, from the cheap (nodes in 1 hop) to the heavy
     (triangles in 3 hops) configuration."""
-    import time
-
     from repro.census.pairwise import pairwise_census
 
     data = synthetic_dblp(num_authors=300, num_areas=8, papers_per_year=80,

@@ -50,7 +50,7 @@ def main():
     full_time = time.perf_counter() - t0
 
     assert inc.snapshot() == full
-    print(f"\nmaintained counts match full recomputation")
+    print("\nmaintained counts match full recomputation")
     print(f"60 incremental updates: {stream_time:.2f}s "
           f"(one full recomputation: {full_time:.2f}s)")
     print(f"total refreshed focal nodes: {inc.refreshed_nodes} "

@@ -12,7 +12,6 @@ Run:  python examples/role_discovery.py
 from collections import Counter
 
 from repro.analysis.roles import extract_roles, role_summary
-from repro.graph.generators import preferential_attachment
 from repro.graph.graph import Graph
 
 

@@ -14,6 +14,7 @@ A census algorithm receives the database graph, a pattern, a radius
 
 from repro.errors import CensusError
 from repro.matching import find_matches
+from repro.obs import current_obs
 
 
 class CensusMatch:
@@ -93,6 +94,7 @@ def prepare_matches(request, matcher="cn", matches=None):
                 continue
             seen_subgraphs.add(m.canonical_key)
             units.append(CensusMatch(m, m.nodes(), len(units)))
+        current_obs().add("census.match_units", len(units))
         return units
 
     seen = set()
@@ -103,6 +105,7 @@ def prepare_matches(request, matcher="cn", matches=None):
             continue
         seen.add(key)
         units.append(CensusMatch(m, image, len(units)))
+    current_obs().add("census.match_units", len(units))
     return units
 
 

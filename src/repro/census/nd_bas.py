@@ -16,21 +16,31 @@ back to one global matching pass plus explicit containment checks.
 from repro.census.base import CensusRequest, prepare_matches
 from repro.graph.traversal import ego_subgraph, k_hop_nodes
 from repro.matching import find_matches
+from repro.obs import current_obs
 
 
 def nd_bas_census(graph, pattern, k, focal_nodes=None, subpattern=None, matcher="cn"):
     """Per-node census by extract-and-match (the paper's ND-BAS)."""
-    request = CensusRequest(graph, pattern, k, focal_nodes, subpattern)
-    counts = request.zero_counts()
+    obs = current_obs()
+    with obs.span("census.nd_bas", k=k, pattern=pattern.name):
+        request = CensusRequest(graph, pattern, k, focal_nodes, subpattern)
+        counts = request.zero_counts()
 
-    if subpattern is not None:
-        units = prepare_matches(request, matcher=matcher)
+        if subpattern is not None:
+            units = prepare_matches(request, matcher=matcher)
+            for n in request.focal_nodes:
+                region = k_hop_nodes(graph, n, k)
+                counts[n] = sum(1 for unit in units if unit.nodes <= region)
+            obs.add("census.nd_bas.containment_checks",
+                    len(units) * len(request.focal_nodes))
+            return counts
+
+        extracted_nodes = 0
         for n in request.focal_nodes:
-            region = k_hop_nodes(graph, n, k)
-            counts[n] = sum(1 for unit in units if unit.nodes <= region)
+            sub = ego_subgraph(graph, n, k)
+            extracted_nodes += sub.num_nodes
+            counts[n] = len(find_matches(sub, pattern, method=matcher, distinct=True))
+        if obs.enabled:
+            obs.add("census.nd_bas.subgraphs_extracted", len(request.focal_nodes))
+            obs.add("census.nd_bas.extracted_nodes", extracted_nodes)
         return counts
-
-    for n in request.focal_nodes:
-        sub = ego_subgraph(graph, n, k)
-        counts[n] = len(find_matches(sub, pattern, method=matcher, distinct=True))
-    return counts

@@ -26,6 +26,7 @@ Orders (the paper's §IV-A.2 discussion):
 from repro.census.base import CensusRequest, prepare_matches
 from repro.census.pmi import PatternMatchIndex
 from repro.graph.traversal import k_hop_nodes
+from repro.obs import current_obs
 
 _SHINGLE_SALT = 0x9E3779B9
 
@@ -45,20 +46,30 @@ def nd_diff_census(graph, pattern, k, focal_nodes=None, subpattern=None, matcher
     """Per-node census by differential counting."""
     if order not in ("neighbor", "shingle", "given"):
         raise ValueError(f"unknown ND-DIFF order {order!r}")
-    request = CensusRequest(graph, pattern, k, focal_nodes, subpattern)
-    counts = request.zero_counts()
-    units = prepare_matches(request, matcher=matcher)
-    if not units:
-        return counts
-    pmi = PatternMatchIndex(units)
+    obs = current_obs()
+    with obs.span("census.nd_diff", k=k, pattern=pattern.name, order=order):
+        request = CensusRequest(graph, pattern, k, focal_nodes, subpattern)
+        counts = request.zero_counts()
+        units = prepare_matches(request, matcher=matcher)
+        if not units:
+            return counts
+        pmi = PatternMatchIndex(units)
 
-    if order == "neighbor":
-        return _neighbor_chain(graph, request, pmi, counts)
-    if order == "shingle":
-        sequence = sorted(request.focal_nodes, key=lambda n: (_shingle(graph, n), repr(n)))
-    else:
-        sequence = list(request.focal_nodes)
-    return _sequential(graph, request, pmi, counts, sequence)
+        stats = {"restarts": 0, "diff_steps": 0}
+        if order == "neighbor":
+            counts = _neighbor_chain(graph, request, pmi, counts, stats)
+        else:
+            if order == "shingle":
+                sequence = sorted(
+                    request.focal_nodes, key=lambda n: (_shingle(graph, n), repr(n))
+                )
+            else:
+                sequence = list(request.focal_nodes)
+            counts = _sequential(graph, request, pmi, counts, sequence, stats)
+        if obs.enabled:
+            obs.add("census.nd_diff.restarts", stats["restarts"])
+            obs.add("census.nd_diff.diff_steps", stats["diff_steps"])
+        return counts
 
 
 def _compute_from_scratch(graph, k, pmi, node):
@@ -87,14 +98,16 @@ def _differential_step(graph, k, pmi, current, prev_hood, prev_ids):
     return hood, ids
 
 
-def _sequential(graph, request, pmi, counts, sequence):
+def _sequential(graph, request, pmi, counts, sequence, stats):
     """Differential counting along an arbitrary node sequence."""
     k = request.k
     prev_hood = prev_ids = None
     for current in sequence:
         if prev_hood is None:
+            stats["restarts"] += 1
             prev_hood, prev_ids = _compute_from_scratch(graph, k, pmi, current)
         else:
+            stats["diff_steps"] += 1
             prev_hood, prev_ids = _differential_step(
                 graph, k, pmi, current, prev_hood, prev_ids
             )
@@ -102,7 +115,7 @@ def _sequential(graph, request, pmi, counts, sequence):
     return counts
 
 
-def _neighbor_chain(graph, request, pmi, counts):
+def _neighbor_chain(graph, request, pmi, counts, stats):
     """Algorithm 3: chains of adjacent focal nodes with restarts."""
     k = request.k
     todo = set(request.focal_nodes)
@@ -126,8 +139,10 @@ def _neighbor_chain(graph, request, pmi, counts):
         todo.discard(current)
 
         if prev is None:
+            stats["restarts"] += 1
             hood, ids = _compute_from_scratch(graph, k, pmi, current)
         else:
+            stats["diff_steps"] += 1
             hood, ids = _differential_step(graph, k, pmi, current, prev_hood, prev_ids)
         counts[current] = len(ids)
         prev, prev_hood, prev_ids = current, hood, ids

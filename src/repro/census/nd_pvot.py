@@ -16,6 +16,7 @@ checks are then short-circuited with distance arithmetic:
 from repro.census.base import CensusRequest, containment_distances, prepare_matches
 from repro.census.pmi import PatternMatchIndex
 from repro.graph.traversal import bfs_layers
+from repro.obs import current_obs
 
 
 def nd_pvot_census(graph, pattern, k, focal_nodes=None, subpattern=None, matcher="cn",
@@ -30,61 +31,68 @@ def nd_pvot_census(graph, pattern, k, focal_nodes=None, subpattern=None, matcher
     the matcher (callers such as top-k evaluation amortize one matching
     pass over many census calls).
     """
-    request = CensusRequest(graph, pattern, k, focal_nodes, subpattern)
-    counts = request.zero_counts()
-    units = prepare_matches(request, matcher=matcher, matches=matches)
-    if not units:
+    obs = current_obs()
+    with obs.span("census.nd_pvot", k=k, pattern=pattern.name):
+        request = CensusRequest(graph, pattern, k, focal_nodes, subpattern)
+        counts = request.zero_counts()
+        units = prepare_matches(request, matcher=matcher, matches=matches)
+        if not units:
+            return counts
+
+        auto_pivot, max_v, pivot_dists = containment_distances(request)
+        if pivot_var is None:
+            pivot_var = auto_pivot
+        else:
+            if pivot_var not in request.containment_vars():
+                raise ValueError(f"pivot ?{pivot_var} is not a containment variable")
+            dists = pattern.distances()[pivot_var]
+            pivot_dists = {y: dists[y] for y in request.containment_vars()}
+            max_v = max(pivot_dists.values())
+
+        pmi = PatternMatchIndex(units, pivot_var=pivot_var)
+
+        # distant[i] = containment variables at pattern distance >= i from the
+        # pivot; only their images need explicit checks when the BFS frontier
+        # is i-or-more hops short of guaranteeing containment.
+        distant = {
+            i: [v for v, d in pivot_dists.items() if d >= i]
+            for i in range(1, max_v + 1)
+        }
+
+        bulk = checked = visited = 0
+        for n in request.focal_nodes:
+            total = 0
+            hood = {}
+            deferred = []
+            for n_prime, d in bfs_layers(graph, n, max_depth=k):
+                visited += 1
+                hood[n_prime] = d
+                anchored = pmi.matches_at(n_prime)
+                if not anchored:
+                    continue
+                if d + max_v <= k:
+                    total += len(anchored)
+                    bulk += len(anchored)
+                else:
+                    deferred.append((d, anchored))
+            # Explicit checks need the complete N_k(n), so they run after the
+            # BFS has finished.
+            for d, anchored in deferred:
+                need = distant.get(k - d + 1, ())
+                for unit in anchored:
+                    checked += 1
+                    if all(unit.match.image(v) in hood for v in need):
+                        total += 1
+            counts[n] = total
+        if collect_stats is not None:
+            collect_stats["bulk_added"] = bulk
+            collect_stats["explicitly_checked"] = checked
+            collect_stats["bfs_visited"] = visited
+            collect_stats["pivot"] = pivot_var
+            collect_stats["max_v"] = max_v
+        if obs.enabled:
+            # checks avoided = matches added wholesale via distance arithmetic.
+            obs.add("census.nd_pvot.bulk_added", bulk)
+            obs.add("census.nd_pvot.containment_checks", checked)
+            obs.add("census.nd_pvot.bfs_expansions", visited)
         return counts
-
-    auto_pivot, max_v, pivot_dists = containment_distances(request)
-    if pivot_var is None:
-        pivot_var = auto_pivot
-    else:
-        if pivot_var not in request.containment_vars():
-            raise ValueError(f"pivot ?{pivot_var} is not a containment variable")
-        dists = pattern.distances()[pivot_var]
-        pivot_dists = {y: dists[y] for y in request.containment_vars()}
-        max_v = max(pivot_dists.values())
-
-    pmi = PatternMatchIndex(units, pivot_var=pivot_var)
-
-    # distant[i] = containment variables at pattern distance >= i from the
-    # pivot; only their images need explicit checks when the BFS frontier
-    # is i-or-more hops short of guaranteeing containment.
-    distant = {
-        i: [v for v, d in pivot_dists.items() if d >= i]
-        for i in range(1, max_v + 1)
-    }
-
-    bulk = checked = visited = 0
-    for n in request.focal_nodes:
-        total = 0
-        hood = {}
-        deferred = []
-        for n_prime, d in bfs_layers(graph, n, max_depth=k):
-            visited += 1
-            hood[n_prime] = d
-            anchored = pmi.matches_at(n_prime)
-            if not anchored:
-                continue
-            if d + max_v <= k:
-                total += len(anchored)
-                bulk += len(anchored)
-            else:
-                deferred.append((d, anchored))
-        # Explicit checks need the complete N_k(n), so they run after the
-        # BFS has finished.
-        for d, anchored in deferred:
-            need = distant.get(k - d + 1, ())
-            for unit in anchored:
-                checked += 1
-                if all(unit.match.image(v) in hood for v in need):
-                    total += 1
-        counts[n] = total
-    if collect_stats is not None:
-        collect_stats["bulk_added"] = bulk
-        collect_stats["explicitly_checked"] = checked
-        collect_stats["bfs_visited"] = visited
-        collect_stats["pivot"] = pivot_var
-        collect_stats["max_v"] = max_v
-    return counts

@@ -25,6 +25,7 @@ from repro.census.base import CensusRequest, containment_distances, prepare_matc
 from repro.census.pmi import PatternMatchIndex
 from repro.errors import CensusError
 from repro.graph.traversal import k_hop_distances
+from repro.obs import current_obs
 
 
 def pairwise_census(graph, pattern, k, pairs=None, mode="intersection",
@@ -52,20 +53,23 @@ def pairwise_census(graph, pattern, k, pairs=None, mode="intersection",
     """
     if mode not in ("intersection", "union"):
         raise CensusError(f"mode must be 'intersection' or 'union', got {mode!r}")
-    request = CensusRequest(graph, pattern, k, focal_nodes=(), subpattern=subpattern)
-    units = prepare_matches(request, matcher=matcher)
+    if algorithm not in ("nd", "pt"):
+        raise CensusError(f"unknown pairwise algorithm {algorithm!r}")
+    obs = current_obs()
+    with obs.span("census.pairwise", k=k, pattern=pattern.name, mode=mode,
+                  algorithm=algorithm):
+        request = CensusRequest(graph, pattern, k, focal_nodes=(), subpattern=subpattern)
+        units = prepare_matches(request, matcher=matcher)
 
-    if algorithm == "nd":
-        if pairs is None:
-            nodes = sorted(graph.nodes(), key=repr)
-            pairs = list(combinations(nodes, 2))
-        return _pairwise_nd(graph, request, units, list(pairs), mode)
-    if algorithm == "pt":
+        if algorithm == "nd":
+            if pairs is None:
+                nodes = sorted(graph.nodes(), key=repr)
+                pairs = list(combinations(nodes, 2))
+            return _pairwise_nd(graph, request, units, list(pairs), mode, obs)
         return _pairwise_pt(graph, request, units, pairs, mode)
-    raise CensusError(f"unknown pairwise algorithm {algorithm!r}")
 
 
-def _pairwise_nd(graph, request, units, pairs, mode):
+def _pairwise_nd(graph, request, units, pairs, mode, obs):
     """Node-driven pairwise census with the appendix's distance
     arithmetic: the Algorithm 2 adaptation replaces ``d(n, n')`` with
     ``max(d(n1, n'), d(n2, n'))`` for intersections and ``min(...)``
@@ -89,6 +93,7 @@ def _pairwise_nd(graph, request, units, pairs, mode):
         return d
 
     combine = max if mode == "intersection" else min
+    bulk = checked = 0
     for pair in pairs:
         n1, n2 = pair
         d1, d2 = dists(n1), dists(n2)
@@ -106,11 +111,16 @@ def _pairwise_nd(graph, request, units, pairs, mode):
                 # Every anchored match lies within k of the combined
                 # criterion: bulk add, no containment checks.
                 total += len(anchored)
+                bulk += len(anchored)
             else:
+                checked += len(anchored)
                 for unit in anchored:
                     if unit.nodes <= region:
                         total += 1
         counts[pair] = total
+    if obs.enabled:
+        obs.add("census.pairwise.bulk_added", bulk)
+        obs.add("census.pairwise.containment_checks", checked)
     return counts
 
 

@@ -9,6 +9,7 @@ per match node — the redundancy PT-OPT's simultaneous traversal removes.
 
 from repro.census.base import CensusRequest, prepare_matches
 from repro.graph.traversal import k_hop_distances
+from repro.obs import current_obs
 
 
 def pt_bas_census(graph, pattern, k, focal_nodes=None, subpattern=None, matcher="cn",
@@ -23,28 +24,35 @@ def pt_bas_census(graph, pattern, k, focal_nodes=None, subpattern=None, matcher=
     assumptions about the adopted matches, so it also serves relaxed
     semantics such as distance-join matches.
     """
-    request = CensusRequest(graph, pattern, k, focal_nodes, subpattern)
-    counts = request.zero_counts()
-    units = prepare_matches(request, matcher=matcher, matches=matches)
-    if not units:
-        if collect_stats is not None:
-            collect_stats["edge_visits"] = 0
-        return counts
+    obs = current_obs()
+    with obs.span("census.pt_bas", k=k, pattern=pattern.name):
+        request = CensusRequest(graph, pattern, k, focal_nodes, subpattern)
+        counts = request.zero_counts()
+        units = prepare_matches(request, matcher=matcher, matches=matches)
+        if not units:
+            if collect_stats is not None:
+                collect_stats["edge_visits"] = 0
+            return counts
 
-    edge_visits = 0
-    focal = set(request.focal_nodes)
-    for unit in units:
-        dist_maps = {m: k_hop_distances(graph, m, k) for m in unit.nodes}
+        # Counting edge visits walks every BFS frontier a second time, so
+        # it stays opt-in: explicit collect_stats or an active obs context.
+        want_stats = collect_stats is not None or obs.enabled
+        edge_visits = 0
+        focal = set(request.focal_nodes)
+        for unit in units:
+            dist_maps = {m: k_hop_distances(graph, m, k) for m in unit.nodes}
+            if want_stats:
+                for d in dist_maps.values():
+                    edge_visits += sum(
+                        graph.degree(n) for n, dist in d.items() if dist < k
+                    )
+            m_min = min(dist_maps, key=lambda m: len(dist_maps[m]))
+            others = [d for m, d in dist_maps.items() if m is not m_min]
+            for n in dist_maps[m_min]:
+                if n in focal and all(n in d for d in others):
+                    counts[n] += 1
         if collect_stats is not None:
-            for d in dist_maps.values():
-                edge_visits += sum(
-                    graph.degree(n) for n, dist in d.items() if dist < k
-                )
-        m_min = min(dist_maps, key=lambda m: len(dist_maps[m]))
-        others = [d for m, d in dist_maps.items() if m is not m_min]
-        for n in dist_maps[m_min]:
-            if n in focal and all(n in d for d in others):
-                counts[n] += 1
-    if collect_stats is not None:
-        collect_stats["edge_visits"] = edge_visits
-    return counts
+            collect_stats["edge_visits"] = edge_visits
+        if obs.enabled:
+            obs.add("census.pt_bas.edge_visits", edge_visits)
+        return counts

@@ -31,6 +31,7 @@ from repro.census.base import CensusRequest, prepare_matches
 from repro.census.bucket_queue import BucketQueue, FIFOQueue, RandomQueue
 from repro.census.centers import CenterIndex, select_centers
 from repro.census.clustering import cluster_matches
+from repro.obs import current_obs
 
 
 @dataclass
@@ -65,45 +66,55 @@ def pt_opt_census(graph, pattern, k, focal_nodes=None, subpattern=None,
     opts = options or PTOptions()
     if overrides:
         opts = PTOptions(**{**_as_dict(opts), **overrides})
-    request = CensusRequest(graph, pattern, k, focal_nodes, subpattern)
-    counts = request.zero_counts()
-    units = prepare_matches(request, matcher=matcher)
-    if not units:
-        return counts
+    obs = current_obs()
+    with obs.span("census.pt_opt", k=k, pattern=pattern.name, order=opts.order):
+        request = CensusRequest(graph, pattern, k, focal_nodes, subpattern)
+        counts = request.zero_counts()
+        units = prepare_matches(request, matcher=matcher)
+        if not units:
+            return counts
 
-    bound_centers, cluster_centers = _build_center_indexes(graph, opts)
+        bound_centers, cluster_centers = _build_center_indexes(graph, opts)
 
-    num_clusters = opts.num_clusters
-    if num_clusters is None:
-        num_clusters = max(1, len(units) // 4)
-    clusters = cluster_matches(
-        units,
-        cluster_centers,
-        num_clusters,
-        strategy=opts.clustering,
-        iterations=opts.kmeans_iterations,
-        seed=opts.seed,
-    )
-
-    focal = set(request.focal_nodes)
-    pattern_dists = pattern.distances()
-    stats = {"pops": 0, "relaxations": 0, "clusters": len(clusters), "touched": 0,
-             "edge_visits": 0}
-    for cluster in clusters:
-        _process_cluster(
-            graph,
-            [units[i] for i in cluster],
-            request.k,
-            focal,
-            counts,
-            pattern_dists,
-            bound_centers,
-            opts,
-            stats,
+        num_clusters = opts.num_clusters
+        if num_clusters is None:
+            num_clusters = max(1, len(units) // 4)
+        clusters = cluster_matches(
+            units,
+            cluster_centers,
+            num_clusters,
+            strategy=opts.clustering,
+            iterations=opts.kmeans_iterations,
+            seed=opts.seed,
         )
-    if opts.stats is not None:
-        opts.stats.update(stats)
-    return counts
+
+        focal = set(request.focal_nodes)
+        pattern_dists = pattern.distances()
+        stats = {"pops": 0, "relaxations": 0, "clusters": len(clusters), "touched": 0,
+                 "edge_visits": 0}
+        for cluster in clusters:
+            _process_cluster(
+                graph,
+                [units[i] for i in cluster],
+                request.k,
+                focal,
+                counts,
+                pattern_dists,
+                bound_centers,
+                opts,
+                stats,
+            )
+        if opts.stats is not None:
+            opts.stats.update(stats)
+        if obs.enabled:
+            # Mirror the ad-hoc stats dict onto the registry; bucket-queue
+            # pops are the paper's "operations" axis for PT variants.
+            obs.add("census.pt_opt.queue_pops", stats["pops"])
+            obs.add("census.pt_opt.relaxations", stats["relaxations"])
+            obs.add("census.pt_opt.clusters", stats["clusters"])
+            obs.add("census.pt_opt.nodes_touched", stats["touched"])
+            obs.add("census.pt_opt.edge_visits", stats["edge_visits"])
+        return counts
 
 
 def pt_rnd_census(graph, pattern, k, focal_nodes=None, subpattern=None,

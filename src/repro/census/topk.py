@@ -24,6 +24,7 @@ from repro.census.nd_pvot import nd_pvot_census
 from repro.census.pmi import PatternMatchIndex
 from repro.graph.traversal import k_hop_nodes
 from repro.matching import find_matches
+from repro.obs import current_obs
 
 
 def census_topk(graph, pattern, k, K, focal_nodes=None, subpattern=None,
@@ -39,6 +40,22 @@ def census_topk(graph, pattern, k, K, focal_nodes=None, subpattern=None,
     exact count (the saving over a full census is
     ``len(focal) - exact_evaluations``).
     """
+    obs = current_obs()
+    if collect_stats is None and obs.enabled:
+        collect_stats = {}
+    with obs.span("census.topk", k=k, K=K, pattern=pattern.name):
+        result = _census_topk(graph, pattern, k, K, focal_nodes, subpattern,
+                              matcher, batch_size, collect_stats)
+        if obs.enabled:
+            obs.add("census.topk.exact_evaluations",
+                    collect_stats.get("exact_evaluations", 0))
+            obs.add("census.topk.candidates_total",
+                    collect_stats.get("candidates_total", 0))
+        return result
+
+
+def _census_topk(graph, pattern, k, K, focal_nodes, subpattern, matcher,
+                 batch_size, collect_stats):
     request = CensusRequest(graph, pattern, k, focal_nodes, subpattern)
     focal = list(request.focal_nodes)
     if K <= 0 or not focal:

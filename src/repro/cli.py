@@ -35,6 +35,44 @@ def _load_graph(path):
     return load_json(path)
 
 
+def _make_obs(args):
+    """An ObsContext when ``--profile``/``--metrics-out`` asked for one."""
+    if not (getattr(args, "profile", False) or getattr(args, "metrics_out", None)):
+        return None
+    from repro.obs import ObsContext
+
+    return ObsContext()
+
+
+def _emit_obs(obs, args, out):
+    """Print the span tree / write the metrics file after a profiled run."""
+    if obs is None:
+        return
+    from repro.obs import to_json, to_prometheus
+
+    if getattr(args, "profile", False):
+        print("-- profile " + "-" * 50, file=out)
+        print(obs.report(), file=out)
+    path = getattr(args, "metrics_out", None)
+    if path:
+        if args.metrics_format == "prometheus":
+            text = to_prometheus(obs.registry)
+        else:
+            text = to_json(obs.registry, indent=2)
+        with open(path, "w") as f:
+            f.write(text)
+        print(f"wrote metrics to {path}", file=out)
+
+
+def _add_profile_flags(sub):
+    sub.add_argument("--profile", action="store_true",
+                     help="print the execution trace and counter table")
+    sub.add_argument("--metrics-out", metavar="PATH",
+                     help="write collected metrics to a file")
+    sub.add_argument("--metrics-format", choices=("json", "prometheus"),
+                     default="json")
+
+
 def _cmd_generate(args, out):
     if args.model == "pa":
         if args.labels > 0:
@@ -68,7 +106,16 @@ def _cmd_query(args, out):
     from repro.query.engine import QueryEngine
 
     graph = _load_graph(args.graph)
-    engine = QueryEngine(graph, seed=args.seed, algorithm=args.algorithm)
+    obs = _make_obs(args)
+    engine = QueryEngine(
+        graph,
+        seed=args.seed,
+        algorithm=args.algorithm,
+        pairwise_algorithm=args.pairwise_algorithm,
+        matcher=args.matcher,
+        cache=args.cache,
+        obs=obs,
+    )
     if args.execute:
         script = args.execute
     else:
@@ -77,6 +124,7 @@ def _cmd_query(args, out):
     for table in engine.execute_script(script):
         print(table.render(max_rows=args.max_rows), file=out)
         print(file=out)
+    _emit_obs(obs, args, out)
     return 0
 
 
@@ -106,18 +154,30 @@ def _cmd_topk(args, out):
 
     graph = _load_graph(args.graph)
     pattern = standard_catalog().get(args.pattern)
+    obs = _make_obs(args)
     stats = {}
-    top = census_topk(graph, pattern, args.radius, args.k, collect_stats=stats)
+    if obs is not None:
+        with obs:
+            top = census_topk(graph, pattern, args.radius, args.k,
+                              collect_stats=stats)
+    else:
+        top = census_topk(graph, pattern, args.radius, args.k,
+                          collect_stats=stats)
     print(f"top {args.k} egos for {args.pattern} within {args.radius} hops "
           f"({stats['exact_evaluations']} exact evaluations):", file=out)
     for node, count in top:
         print(f"  {node}: {count}", file=out)
+    _emit_obs(obs, args, out)
     return 0
 
 
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro", description="Ego-centric graph pattern census toolkit"
+    )
+    parser.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"),
+        default=None, help="enable stderr logging at this level",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -141,8 +201,15 @@ def build_parser():
                        help="script file (or use -e)")
     query.add_argument("-e", "--execute", help="inline statement(s)")
     query.add_argument("--algorithm", default="auto")
+    query.add_argument("--pairwise-algorithm", choices=("nd", "pt"), default="nd",
+                       help="strategy for intersection/union aggregates")
+    query.add_argument("--matcher", choices=("cn", "gql", "bruteforce"),
+                       default="cn", help="subgraph matching method")
+    query.add_argument("--cache", action="store_true",
+                       help="cache aggregate results across statements")
     query.add_argument("--seed", type=int, default=0)
     query.add_argument("--max-rows", type=int, default=20)
+    _add_profile_flags(query)
     query.set_defaults(func=_cmd_query)
 
     bulk = sub.add_parser("bulkload", help="convert JSON graph to a disk store")
@@ -161,6 +228,7 @@ def build_parser():
     topk.add_argument("--pattern", default="clq3-unlb")
     topk.add_argument("--radius", type=int, default=2)
     topk.add_argument("-k", type=int, default=10)
+    _add_profile_flags(topk)
     topk.set_defaults(func=_cmd_topk)
 
     return parser
@@ -170,6 +238,10 @@ def main(argv=None, out=None):
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level is not None:
+        from repro.obs import configure_logging
+
+        configure_logging(args.log_level)
     if args.command == "query" and not args.execute and not args.script:
         parser.error("query needs a script file or -e STATEMENT")
     return args.func(args, out)

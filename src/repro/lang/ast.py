@@ -129,14 +129,21 @@ class OrderItem:
 
 
 class ExplainStatement:
-    """``EXPLAIN <select>`` — describe the plan instead of executing."""
+    """``EXPLAIN [ANALYZE] <select>`` — describe the plan.
 
-    __slots__ = ("query",)
+    With ``analyze=True`` the statement also *executes* the query and
+    annotates the plan with measured wall-times and operation counts.
+    """
 
-    def __init__(self, query):
+    __slots__ = ("query", "analyze")
+
+    def __init__(self, query, analyze=False):
         self.query = query
+        self.analyze = analyze
 
     def __repr__(self):
+        if self.analyze:
+            return f"ExplainAnalyze({self.query!r})"
         return f"Explain({self.query!r})"
 
 

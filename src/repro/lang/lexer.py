@@ -22,7 +22,7 @@ KEYWORDS = {
     "pattern", "subpattern", "select", "from", "where", "as",
     "and", "or", "not", "order", "by", "limit", "asc", "desc",
     "countp", "countsp", "subgraph", "rnd", "edge",
-    "true", "false", "null", "nodes", "explain",
+    "true", "false", "null", "nodes", "explain", "analyze",
 }
 
 _COMPOUND_SUFFIXES = {"intersection", "union"}

@@ -121,7 +121,10 @@ class _Parser:
                 statements.append(self.parse_select())
             elif tok.is_keyword("explain"):
                 self.advance()
-                statements.append(ast.ExplainStatement(self.parse_select()))
+                analyze = self.accept_keyword("analyze")
+                statements.append(
+                    ast.ExplainStatement(self.parse_select(), analyze=analyze)
+                )
             else:
                 self.error(f"expected PATTERN, SELECT or EXPLAIN, found {tok.text!r}")
         return statements

@@ -25,6 +25,7 @@ from repro.matching.base import (
     neighbor_set,
 )
 from repro.matching.order import connected_order, earlier_neighbors
+from repro.obs import current_obs
 
 
 class CNState:
@@ -92,6 +93,17 @@ def build_cn_state(graph, pattern, profile_index=None):
 
     stats["pruning_passes"] = passes
     stats["pruned_candidates"] = {v: len(c) for v, c in candidates.items()}
+
+    # Mirror the ad-hoc stats dict onto the metrics registry; CNState.stats
+    # stays the primary surface for existing consumers.
+    obs = current_obs()
+    if obs.enabled:
+        obs.add("match.cn.pruning_passes", passes)
+        obs.add("match.cn.candidates_initial",
+                sum(stats["initial_candidates"].values()))
+        obs.add("match.cn.candidates_pruned",
+                sum(stats["initial_candidates"].values())
+                - sum(stats["pruned_candidates"].values()))
     return CNState(candidates, cn, stats)
 
 
@@ -135,10 +147,13 @@ def extract_matches(graph, pattern, state, limit=None):
 
 def cn_matches(graph, pattern, distinct=True, profile_index=None):
     """Find all matches of ``pattern`` in ``graph`` with the CN algorithm."""
-    state = build_cn_state(graph, pattern, profile_index)
-    if any(not c for c in state.candidates.values()):
-        return []
-    matches = extract_matches(graph, pattern, state)
-    if distinct:
-        matches = dedupe_matches(matches)
-    return matches
+    obs = current_obs()
+    with obs.span("match.cn", pattern=pattern.name):
+        state = build_cn_state(graph, pattern, profile_index)
+        if any(not c for c in state.candidates.values()):
+            return []
+        matches = extract_matches(graph, pattern, state)
+        if distinct:
+            matches = dedupe_matches(matches)
+        obs.add("match.cn.matches", len(matches))
+        return matches

@@ -20,6 +20,7 @@ from repro.matching.base import (
     neighbor_set,
 )
 from repro.matching.order import connected_order, earlier_neighbors
+from repro.obs import current_obs
 
 
 def refine_candidates(graph, pattern, candidates, max_passes=None):
@@ -32,7 +33,9 @@ def refine_candidates(graph, pattern, candidates, max_passes=None):
     if max_passes is None:
         max_passes = len(pattern.nodes)
     neighbor_lists = {v: pattern.positive_neighbors(v) for v in pattern.nodes}
+    passes = 0
     for _ in range(max_passes):
+        passes += 1
         changed = False
         for var in pattern.nodes:
             doomed = []
@@ -47,12 +50,19 @@ def refine_candidates(graph, pattern, candidates, max_passes=None):
                 changed = True
         if not changed:
             break
+    current_obs().add("match.gql.refine_passes", passes)
     return candidates
 
 
 def gql_matches(graph, pattern, distinct=True, profile_index=None):
     """Find all matches with the GQL-style baseline."""
     pattern.validate()
+    obs = current_obs()
+    with obs.span("match.gql", pattern=pattern.name):
+        return _gql_matches(graph, pattern, distinct, profile_index, obs)
+
+
+def _gql_matches(graph, pattern, distinct, profile_index, obs):
     candidates = enumerate_candidates(graph, pattern, profile_index)
     candidates = refine_candidates(graph, pattern, candidates)
     if any(not c for c in candidates.values()):
@@ -64,6 +74,9 @@ def gql_matches(graph, pattern, distinct=True, profile_index=None):
     matches = []
     assignment = {}
     bound = []
+    # The full-candidate-set scans below are the cost CN's candidate
+    # neighbor sets avoid; their total size is the F4a/F4b x-axis.
+    scanned = [0]
 
     def adjacent(prefix_node, var_prefix, node, edge):
         return node in neighbor_set(graph, prefix_node, var_prefix, edge)
@@ -75,6 +88,7 @@ def gql_matches(graph, pattern, distinct=True, profile_index=None):
         var = order[i]
         # The GQL cost model: scan the whole candidate set of the next
         # variable and filter by adjacency with the bound prefix.
+        scanned[0] += len(candidates[var])
         for node in candidates[var]:
             ok = True
             for earlier, edge in back_edges[i]:
@@ -93,4 +107,6 @@ def gql_matches(graph, pattern, distinct=True, profile_index=None):
     extend(0)
     if distinct:
         matches = dedupe_matches(matches)
+    obs.add("match.gql.candidates_scanned", scanned[0])
+    obs.add("match.gql.matches", len(matches))
     return matches

@@ -1,0 +1,57 @@
+"""Metric export: JSON documents and Prometheus text format.
+
+Both exporters read a :class:`~repro.obs.metrics.MetricsRegistry`
+snapshot, so they observe a consistent point-in-time view.  Dotted
+metric names (``census.nd_pvot.bulk_added``) become Prometheus-safe
+underscored names with a configurable prefix
+(``repro_census_nd_pvot_bulk_added_total``).
+"""
+
+import json
+import re
+
+_UNSAFE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name, prefix="repro"):
+    """Map a dotted metric name onto the Prometheus grammar."""
+    flat = _UNSAFE.sub("_", name.replace(".", "_"))
+    if prefix:
+        flat = f"{prefix}_{flat}"
+    if flat and flat[0].isdigit():
+        flat = "_" + flat
+    return flat
+
+
+def to_json(registry, indent=None):
+    """The registry snapshot as a JSON string."""
+    return json.dumps(registry.snapshot(), indent=indent, default=repr)
+
+
+def to_prometheus(registry, prefix="repro"):
+    """The registry in the Prometheus text exposition format.
+
+    Counters get a ``_total`` suffix; histograms emit cumulative
+    ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+    """
+    snap = registry.snapshot()
+    lines = []
+    for name, value in snap["counters"].items():
+        pname = prometheus_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {pname} counter")
+        lines.append(f"{pname} {value}")
+    for name, value in snap["gauges"].items():
+        pname = prometheus_name(name, prefix)
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname} {value}")
+    for name, hist in snap["histograms"].items():
+        pname = prometheus_name(name, prefix) + "_seconds"
+        lines.append(f"# TYPE {pname} histogram")
+        cumulative = 0
+        for bound, count in hist["buckets"]:
+            cumulative += count
+            lines.append(f'{pname}_bucket{{le="{bound}"}} {cumulative}')
+        lines.append(f'{pname}_bucket{{le="+Inf"}} {hist["count"]}')
+        lines.append(f"{pname}_sum {hist['sum']}")
+        lines.append(f"{pname}_count {hist['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")

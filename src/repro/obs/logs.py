@@ -1,0 +1,60 @@
+"""Stdlib ``logging`` wiring for the toolkit.
+
+Every module logs under the ``repro`` namespace
+(``logging.getLogger("repro.query.engine")`` etc.); by default the
+library emits nothing (a ``NullHandler`` on the root ``repro`` logger,
+per library convention).  Applications and the CLI opt in with
+:func:`configure_logging`, which the ``--log-level`` flag calls.
+"""
+
+import logging
+
+LOGGER_NAME = "repro"
+
+logging.getLogger(LOGGER_NAME).addHandler(logging.NullHandler())
+
+_LEVELS = {
+    "critical": logging.CRITICAL,
+    "error": logging.ERROR,
+    "warning": logging.WARNING,
+    "info": logging.INFO,
+    "debug": logging.DEBUG,
+}
+
+
+def configure_logging(level="info", stream=None, fmt=None):
+    """Attach a stream handler to the ``repro`` logger at ``level``.
+
+    Idempotent: a second call replaces the handler installed by the
+    first (so tests and repeated CLI invocations don't stack handlers).
+    Returns the configured logger.
+    """
+    if isinstance(level, str):
+        try:
+            resolved = _LEVELS[level.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown log level {level!r}; expected one of {sorted(_LEVELS)}"
+            ) from None
+    else:
+        resolved = int(level)
+    logger = logging.getLogger(LOGGER_NAME)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_configured", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler._repro_configured = True
+    handler.setFormatter(
+        logging.Formatter(fmt or "%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+    )
+    logger.addHandler(handler)
+    logger.setLevel(resolved)
+    return logger
+
+
+def get_logger(name):
+    """A logger under the ``repro`` namespace (``name`` may already
+    start with ``repro``)."""
+    if name == LOGGER_NAME or name.startswith(LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{LOGGER_NAME}.{name}")

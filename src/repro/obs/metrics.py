@@ -1,0 +1,233 @@
+"""Lightweight metrics primitives: counters, gauges, histograms, timers.
+
+A :class:`MetricsRegistry` is a named collection of metric instruments.
+Instruments are created lazily (``registry.counter("x").inc()``) and are
+safe to share across threads: instrument creation is guarded by the
+registry lock and every mutation takes the instrument's own lock.  The
+locks are uncontended in the single-threaded case and the instrumented
+code aggregates locally and records *once per operation region* (one
+``inc`` per census call, not one per BFS step), so the cost of the
+registry is negligible next to the work it measures.
+
+Metric names are dotted paths (``census.nd_pvot.bulk_added``); the
+export layer (:mod:`repro.obs.export`) maps them to JSON documents and
+Prometheus text-format families.
+"""
+
+import threading
+import time
+
+# Default histogram buckets, in seconds, chosen for query-stage timings
+# that range from microseconds (parse/bind) to minutes (large censuses).
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount=1):
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self):
+        return self._value
+
+    def __repr__(self):
+        return f"<Counter {self.name}={self._value}>"
+
+
+class Gauge:
+    """A value that can go up and down (cache residency, queue depth)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def set(self, value):
+        with self._lock:
+            self._value = value
+
+    def add(self, amount=1):
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self):
+        return self._value
+
+    def __repr__(self):
+        return f"<Gauge {self.name}={self._value}>"
+
+
+class Histogram:
+    """A bucketed distribution with count/sum/min/max.
+
+    Bucket boundaries are upper bounds (``le`` semantics, like
+    Prometheus); one implicit ``+Inf`` bucket catches the tail.
+    """
+
+    __slots__ = ("name", "buckets", "bucket_counts", "count", "sum", "min", "max", "_lock")
+
+    def __init__(self, name, buckets=DEFAULT_BUCKETS):
+        self.name = name
+        self.buckets = tuple(sorted(buckets))
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+        self._lock = threading.Lock()
+
+    def observe(self, value):
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.bucket_counts[i] += 1
+                    return
+            self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self):
+        return self.sum / self.count if self.count else 0.0
+
+    def __repr__(self):
+        return f"<Histogram {self.name} count={self.count} sum={self.sum:.6f}>"
+
+
+class Timer:
+    """A histogram of elapsed seconds with a context-manager interface.
+
+    ::
+
+        with registry.timer("query.parse").time():
+            parse(...)
+    """
+
+    __slots__ = ("histogram",)
+
+    def __init__(self, histogram):
+        self.histogram = histogram
+
+    @property
+    def name(self):
+        return self.histogram.name
+
+    def observe(self, seconds):
+        self.histogram.observe(seconds)
+
+    def time(self):
+        return _TimerScope(self.histogram)
+
+    def __repr__(self):
+        return f"<Timer {self.histogram.name} count={self.histogram.count}>"
+
+
+class _TimerScope:
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram):
+        self._histogram = histogram
+        self._start = None
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self._histogram.observe(time.perf_counter() - self._start)
+        return False
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges, histograms, and timers."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+
+    # -- instrument accessors (lazy creation) ---------------------------
+    def counter(self, name):
+        c = self._counters.get(name)
+        if c is None:
+            with self._lock:
+                c = self._counters.setdefault(name, Counter(name))
+        return c
+
+    def gauge(self, name):
+        g = self._gauges.get(name)
+        if g is None:
+            with self._lock:
+                g = self._gauges.setdefault(name, Gauge(name))
+        return g
+
+    def histogram(self, name, buckets=DEFAULT_BUCKETS):
+        h = self._histograms.get(name)
+        if h is None:
+            with self._lock:
+                h = self._histograms.setdefault(name, Histogram(name, buckets))
+        return h
+
+    def timer(self, name, buckets=DEFAULT_BUCKETS):
+        return Timer(self.histogram(name, buckets))
+
+    # -- read side ------------------------------------------------------
+    def counters(self):
+        return dict(self._counters)
+
+    def gauges(self):
+        return dict(self._gauges)
+
+    def histograms(self):
+        return dict(self._histograms)
+
+    def snapshot(self):
+        """A plain-data view of every instrument, for export and tests."""
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+                "histograms": {
+                    n: {
+                        "count": h.count,
+                        "sum": h.sum,
+                        "min": h.min,
+                        "max": h.max,
+                        "buckets": list(zip(h.buckets, h.bucket_counts)),
+                        "inf": h.bucket_counts[-1],
+                    }
+                    for n, h in sorted(self._histograms.items())
+                },
+            }
+
+    def __len__(self):
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def __repr__(self):
+        return (
+            f"<MetricsRegistry counters={len(self._counters)} "
+            f"gauges={len(self._gauges)} histograms={len(self._histograms)}>"
+        )

@@ -1,0 +1,128 @@
+"""Hierarchical timed spans — one execution trace per query.
+
+A :class:`Span` records a name, wall-time interval, free-form
+attributes, and the counters that were incremented while it was the
+active span (:meth:`repro.obs.context.ObsContext.add` attaches each
+increment to the innermost open span as well as to the registry).
+Spans form a tree mirroring the engine's execution structure::
+
+    query.execute
+      query.bind
+      query.scan
+      query.aggregate (output=c)
+        census.nd_pvot
+          match.cn
+      query.sort_limit
+
+``render_span_tree`` produces the human-readable profile printed by
+``repro query --profile`` and by ``EXPLAIN ANALYZE``.
+"""
+
+import time
+
+
+class Span:
+    """One timed region of execution."""
+
+    __slots__ = ("name", "attrs", "children", "metrics", "start_time", "end_time")
+
+    def __init__(self, name, attrs=None):
+        self.name = name
+        self.attrs = dict(attrs) if attrs else {}
+        self.children = []
+        self.metrics = {}
+        self.start_time = time.perf_counter()
+        self.end_time = None
+
+    def finish(self):
+        if self.end_time is None:
+            self.end_time = time.perf_counter()
+        return self
+
+    @property
+    def duration(self):
+        """Elapsed seconds (up to now for a still-open span)."""
+        end = self.end_time if self.end_time is not None else time.perf_counter()
+        return end - self.start_time
+
+    def set(self, key, value):
+        """Attach one attribute (no-op-compatible with the disabled span)."""
+        self.attrs[key] = value
+
+    def add_metric(self, name, value):
+        self.metrics[name] = self.metrics.get(name, 0) + value
+
+    # -- tree queries ---------------------------------------------------
+    def walk(self):
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name, **attrs):
+        """First descendant (or self) with ``name`` and matching attrs."""
+        for span in self.walk():
+            if span.name == name and all(span.attrs.get(k) == v for k, v in attrs.items()):
+                return span
+        return None
+
+    def subtree_metrics(self):
+        """Counter totals aggregated over this span and its descendants."""
+        totals = {}
+        for span in self.walk():
+            for name, value in span.metrics.items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+    def to_dict(self):
+        """JSON-serializable form of the span tree."""
+        return {
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "duration_s": self.duration,
+            "metrics": dict(self.metrics),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def __repr__(self):
+        state = "open" if self.end_time is None else f"{self.duration * 1e3:.2f}ms"
+        return f"<Span {self.name} {state} children={len(self.children)}>"
+
+
+def format_duration(seconds):
+    """Adaptive human-readable duration (``1.23 ms``, ``4.5 s``)."""
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= 0.001:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds * 1e6:.0f} us"
+
+
+def render_span_tree(span, indent=0, max_repeats=4):
+    """Indented text rendering of a span tree with timings and metrics.
+
+    Fan-out heavy traces (one matcher span per focal node under ND-BAS,
+    one census span per top-k batch) are elided: after ``max_repeats``
+    same-named siblings, the rest collapse into one summary line.
+    """
+    pad = "  " * indent
+    attrs = ""
+    if span.attrs:
+        attrs = " (" + ", ".join(f"{k}={v}" for k, v in sorted(span.attrs.items())) + ")"
+    lines = [f"{pad}{span.name}{attrs} [{format_duration(span.duration)}]"]
+    for name, value in sorted(span.metrics.items()):
+        lines.append(f"{pad}  * {name}={value}")
+    rendered = {}
+    elided = {}
+    for child in span.children:
+        if rendered.get(child.name, 0) >= max_repeats:
+            count, total = elided.get(child.name, (0, 0.0))
+            elided[child.name] = (count + 1, total + child.duration)
+            continue
+        rendered[child.name] = rendered.get(child.name, 0) + 1
+        lines.append(render_span_tree(child, indent + 1, max_repeats))
+    for name, (count, total) in elided.items():
+        lines.append(
+            f"{pad}  ... ({count} more {name} spans, {format_duration(total)} total)"
+        )
+    return "\n".join(lines)

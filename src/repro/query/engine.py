@@ -17,7 +17,10 @@ from repro.lang.catalog import PatternCatalog, standard_patterns
 from repro.lang.expressions import evaluate_where, expression_columns
 from repro.lang.parser import parse_query, parse_script
 from repro.matching.pattern import Pattern
+from repro.obs import activate, current_obs, get_logger
 from repro.query.result import ResultTable
+
+logger = get_logger("repro.query.engine")
 
 
 class QueryEngine:
@@ -39,16 +42,22 @@ class QueryEngine:
         planner pick; see :data:`repro.census.ALGORITHMS`).
     pairwise_algorithm:
         'nd' or 'pt' for intersection/union neighborhoods.
+    obs:
+        An :class:`repro.obs.ObsContext` to record execution traces and
+        metrics into.  ``None`` (the default) uses whatever context is
+        ambient (``repro.obs.current_obs()``), which is the disabled
+        no-op context unless a caller activated one.
     """
 
     def __init__(self, graph, catalog=None, seed=0, algorithm="auto",
-                 pairwise_algorithm="nd", matcher="cn", cache=False):
+                 pairwise_algorithm="nd", matcher="cn", cache=False, obs=None):
         self.graph = graph
         self.catalog = catalog if catalog is not None else PatternCatalog(standard_patterns())
         self.seed = seed
         self.algorithm = algorithm
         self.pairwise_algorithm = pairwise_algorithm
         self.matcher = matcher
+        self.obs = obs
         # Aggregate-result cache.  Opt-in because it assumes the graph
         # is not mutated between queries; pattern redefinitions are
         # handled via the catalog version.
@@ -85,7 +94,10 @@ class QueryEngine:
             if isinstance(statement, Pattern):
                 self.catalog.register(statement)
             elif isinstance(statement, ExplainStatement):
-                plan = self.explain(statement.query)
+                if statement.analyze:
+                    plan = self.explain_analyze(statement.query)
+                else:
+                    plan = self.explain(statement.query)
                 results.append(
                     ResultTable(["plan"], [(line,) for line in plan.splitlines()])
                 )
@@ -99,6 +111,14 @@ class QueryEngine:
 
         return explain_query(self, query)
 
+    def explain_analyze(self, query):
+        """Execute ``query`` and annotate its plan with measured
+        wall-times and operation counts (the ``EXPLAIN ANALYZE``
+        statement)."""
+        from repro.query.explain import explain_analyze
+
+        return explain_analyze(self, query)
+
     def execute(self, query):
         """Run one SELECT (text or parsed); returns a ResultTable."""
         if isinstance(query, str):
@@ -111,18 +131,37 @@ class QueryEngine:
     # Execution
     # ------------------------------------------------------------------
     def _execute_select(self, query):
+        obs = self.obs if self.obs is not None else current_obs()
+        if not obs.enabled:
+            return self._run_select(query, obs)
+        with activate(obs):
+            with obs.span("query.execute"):
+                io_before = self._io_snapshot()
+                try:
+                    return self._run_select(query, obs)
+                finally:
+                    self._record_io_deltas(obs, io_before)
+
+    def _run_select(self, query, obs):
         aliases = [t.alias for t in query.tables]
-        self._validate_references(query, aliases)
+        with obs.span("query.bind"):
+            self._validate_references(query, aliases)
         rng = random.Random(self.seed)
 
-        if query.is_pair_query:
-            bindings = self._pair_bindings(query, aliases, rng)
-        else:
-            bindings = self._node_bindings(query, aliases[0], rng)
+        with obs.span("query.scan") as scan_span:
+            if query.is_pair_query:
+                bindings = self._pair_bindings(query, aliases, rng)
+            else:
+                bindings = self._node_bindings(query, aliases[0], rng)
+            scan_span.set("rows", len(bindings))
+            obs.add("query.focal_bindings", len(bindings))
 
         aggregate_values = {}
         for agg in query.aggregates():
-            aggregate_values[id(agg)] = self._evaluate_aggregate(agg, aliases, bindings)
+            with obs.span("query.aggregate", output=agg.output_name):
+                aggregate_values[id(agg)] = self._evaluate_aggregate(
+                    agg, aliases, bindings
+                )
 
         columns = []
         for item in query.columns:
@@ -141,12 +180,29 @@ class QueryEngine:
                     row.append(self._column_value(item, aliases, binding))
             rows.append(tuple(row))
 
-        table = ResultTable(columns, rows)
-        for order in reversed(query.order_by):
-            table = table.sorted_by(order.key, descending=not order.ascending)
-        if query.limit is not None:
-            table = table.head(query.limit)
+        with obs.span("query.sort_limit"):
+            table = ResultTable(columns, rows)
+            for order in reversed(query.order_by):
+                table = table.sorted_by(order.key, descending=not order.ascending)
+            if query.limit is not None:
+                table = table.head(query.limit)
+        logger.debug("executed query: %d rows, %d columns", len(table.rows),
+                     len(table.columns))
         return table
+
+    def _io_snapshot(self):
+        io_stats = getattr(self.graph, "io_stats", None)
+        return dict(io_stats()) if io_stats is not None else None
+
+    def _record_io_deltas(self, obs, before):
+        """Attribute storage counters that moved during this statement."""
+        if before is None:
+            return
+        after = self._io_snapshot()
+        for key, value in after.items():
+            delta = value - before.get(key, 0)
+            if delta:
+                obs.add("storage." + key, delta)
 
     def _validate_references(self, query, aliases):
         known = set(aliases)
@@ -176,8 +232,6 @@ class QueryEngine:
                             f"{item.subpattern_name!r}"
                         )
                 hood = item.neighborhood
-                if hood.kind == "subgraph" and query.is_pair_query:
-                    pass  # allowed: census over one side of the pair
                 if hood.kind != "subgraph" and not query.is_pair_query:
                     raise QueryError(
                         f"{hood.kind} neighborhoods require a pair query "
@@ -190,8 +244,18 @@ class QueryEngine:
         if query.where is not None:
             for ref in expression_columns(query.where):
                 check(ref)
+        output_names = set()
+        for item in query.columns:
+            if isinstance(item, Aggregate):
+                output_names.add(item.output_name.lower())
+            else:
+                output_names.add(item.display_name().lower())
         for order in query.order_by:
-            pass  # order keys are validated against output columns at sort time
+            if order.key.lower() not in output_names:
+                raise QueryError(
+                    f"ORDER BY key {order.key!r} matches no column of the "
+                    f"output; available: {sorted(output_names)}"
+                )
 
     def _node_bindings(self, query, alias, rng):
         out = []
@@ -270,12 +334,15 @@ class QueryEngine:
         if not self.cache_enabled:
             return compute()
         key = key + (self.catalog.version,)
+        obs = current_obs()
         try:
             value = self._cache[key]
             self.cache_hits += 1
+            obs.add("query.aggregate_cache.hits", 1)
             return value
         except KeyError:
             self.cache_misses += 1
+            obs.add("query.aggregate_cache.misses", 1)
             value = compute()
             self._cache[key] = value
             return value

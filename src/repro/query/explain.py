@@ -2,12 +2,16 @@
 
 ``explain`` renders what the engine *would* do for a SELECT: how focal
 rows are produced, which census algorithm the planner picks per
-aggregate and why, and the statistics that informed the choice.  Used
-by ``QueryEngine.explain`` and the CLI.
+aggregate and why, and the statistics that informed the choice.
+``explain_analyze`` additionally *executes* the query under a fresh
+observability context and annotates each plan line with the measured
+wall-time and operation counts from the execution trace.  Used by
+``QueryEngine.explain`` / ``QueryEngine.explain_analyze`` and the CLI.
 """
 
 from repro.census.planner import choose_algorithm
 from repro.lang.ast import Aggregate
+from repro.obs import ObsContext, format_duration
 from repro.query.statistics import GraphStatistics
 
 
@@ -53,10 +57,11 @@ def explain_query(engine, query):
                 f"algorithm={algorithm} [{reason}]"
             )
         else:
+            reason = _pairwise_reason(engine.graph, pattern, engine.pairwise_algorithm)
             lines.append(
                 f"PAIRWISE CENSUS {item.output_name}: pattern={pattern.name}, "
                 f"{hood.kind} of k={hood.k} neighborhoods, "
-                f"strategy={engine.pairwise_algorithm}"
+                f"strategy={engine.pairwise_algorithm} [{reason}]"
             )
         if item.subpattern_name:
             members = pattern.subpatterns[item.subpattern_name]
@@ -86,3 +91,160 @@ def _planner_reason(graph, pattern, algorithm):
     if algorithm == "pt-opt":
         return f"~{expected:.0f} expected matches -> pattern-driven"
     return f"~{expected:.0f} expected matches -> node-driven pivot index"
+
+
+def _pairwise_reason(graph, pattern, strategy):
+    """Planner reasoning for intersection/union aggregates.
+
+    The engine pins the pairwise strategy (``pairwise_algorithm``); this
+    explains what each strategy trades: node-driven materializes one
+    combined region per pair and probes the pivot index (cheap when
+    matches are plentiful and pairs reuse neighborhoods), pattern-driven
+    computes per-match coverage sets once and scans the pair list
+    (cheap when matches are scarce relative to the pair count).
+    """
+    from repro.census.planner import estimate_matches
+
+    expected = estimate_matches(graph, pattern)
+    if strategy == "pt":
+        return (
+            f"~{expected:.0f} expected matches -> per-match coverage sets, "
+            "one k-hop BFS per match node"
+        )
+    return (
+        f"~{expected:.0f} expected matches -> per-pair region + pivot-index "
+        "probes, neighborhoods cached across pairs"
+    )
+
+
+# Counters worth surfacing per aggregate in EXPLAIN ANALYZE, in display
+# order.  Everything else recorded under the aggregate's span subtree is
+# still available via ``repro query --profile`` / ``--metrics-out``.
+_ANALYZE_COUNTERS = (
+    ("match.cn.matches", "matches"),
+    ("match.gql.matches", "matches"),
+    ("match.cn.candidates_initial", "candidates"),
+    ("match.gql.candidates_scanned", "candidates"),
+    ("match.cn.pruning_passes", "pruning passes"),
+    ("match.gql.refine_passes", "refine passes"),
+    ("census.nd_pvot.bulk_added", "bulk added"),
+    ("census.pairwise.bulk_added", "bulk added"),
+    ("census.nd_pvot.containment_checks", "containment checks"),
+    ("census.nd_bas.containment_checks", "containment checks"),
+    ("census.pairwise.containment_checks", "containment checks"),
+    ("census.nd_pvot.bfs_expansions", "BFS expansions"),
+    ("census.nd_bas.subgraphs_extracted", "subgraphs extracted"),
+    ("census.nd_diff.restarts", "restarts"),
+    ("census.nd_diff.diff_steps", "differential steps"),
+    ("census.pt_bas.edge_visits", "edge visits"),
+    ("census.pt_opt.edge_visits", "edge visits"),
+    ("census.pt_opt.queue_pops", "bucket-queue pops"),
+    ("census.pt_opt.relaxations", "relaxations"),
+    ("census.pt_opt.clusters", "clusters"),
+    ("census.topk.exact_evaluations", "exact evaluations"),
+)
+
+
+def explain_analyze(engine, query):
+    """Execute ``query`` and render its plan annotated with actuals.
+
+    Runs the query under a private :class:`repro.obs.ObsContext` (the
+    caller's ambient context is untouched), then merges the recorded
+    span tree into the static plan: per-stage wall-times, focal row
+    counts, per-aggregate match/candidate/pruning counters, aggregate
+    cache activity, and page-cache/pager deltas for disk graphs.
+    """
+    if isinstance(query, str):
+        from repro.lang.parser import parse_query
+
+        query = parse_query(query)
+
+    ctx = ObsContext()
+    saved_obs = engine.obs
+    engine.obs = ctx
+    try:
+        engine.execute(query)
+    finally:
+        engine.obs = saved_obs
+
+    root = ctx.roots[0] if ctx.roots else None
+    lines = []
+    for line in explain_query(engine, query).splitlines():
+        lines.append(_annotate_plan_line(line, root))
+    if root is not None:
+        lines.extend(_execution_summary(root))
+    return "\n".join(lines)
+
+
+def _annotate_plan_line(line, root):
+    if root is None:
+        return line
+    stripped = line.lstrip()
+    if stripped.startswith("SCAN "):
+        span = root.find("query.scan")
+        if span is not None:
+            rows = span.attrs.get("rows")
+            rows_part = f", rows={rows}" if rows is not None else ""
+            return f"{line}  (actual: {format_duration(span.duration)}{rows_part})"
+    elif stripped.startswith(("CENSUS ", "PAIRWISE CENSUS ")):
+        name = stripped.split(":", 1)[0].rsplit(" ", 1)[-1]
+        span = root.find("query.aggregate", output=name)
+        if span is not None:
+            extra = _aggregate_actuals(span)
+            return f"{line}  (actual: {format_duration(span.duration)}{extra})"
+    elif stripped.startswith(("SORT BY", "LIMIT ")):
+        span = root.find("query.sort_limit")
+        if span is not None and stripped.startswith("SORT BY"):
+            return f"{line}  (actual: {format_duration(span.duration)})"
+    return line
+
+
+def _aggregate_actuals(span):
+    metrics = span.subtree_metrics()
+    parts = []
+    seen_labels = set()
+    for counter, label in _ANALYZE_COUNTERS:
+        value = metrics.get(counter)
+        if value is None or label in seen_labels:
+            continue
+        seen_labels.add(label)
+        parts.append(f"{label}={value}")
+    cached = span.metrics.get("query.aggregate_cache.hits")
+    if cached:
+        parts.append("served from aggregate cache")
+    executed = {c.name for c in span.children if c.name.startswith("census.")}
+    if executed:
+        parts.append("ran " + "+".join(sorted(executed)))
+    if not parts:
+        return ""
+    return "; " + ", ".join(parts)
+
+
+def _execution_summary(root):
+    lines = []
+    metrics = root.subtree_metrics()
+    hits = metrics.get("query.aggregate_cache.hits", 0)
+    misses = metrics.get("query.aggregate_cache.misses", 0)
+    if hits or misses:
+        lines.append(f"AGGREGATE CACHE: {hits} hits, {misses} misses")
+    storage = {
+        name[len("storage."):]: value
+        for name, value in metrics.items()
+        if name.startswith("storage.")
+    }
+    if storage:
+        pc_hits = storage.get("page_cache.hits", 0)
+        pc_misses = storage.get("page_cache.misses", 0)
+        looked_up = pc_hits + pc_misses
+        rate = f", hit rate {pc_hits / looked_up:.1%}" if looked_up else ""
+        lines.append(
+            f"STORAGE: page cache {pc_hits} hits / {pc_misses} misses{rate}; "
+            f"{storage.get('pager.pages_read', 0)} pages read, "
+            f"{storage.get('pager.pages_written', 0)} written"
+        )
+    stage_total = sum(c.duration for c in root.children)
+    lines.append(
+        f"TOTAL: {format_duration(root.duration)} "
+        f"({format_duration(stage_total)} in instrumented stages)"
+    )
+    return lines

@@ -3,6 +3,14 @@
 Pages are cached as mutable ``bytearray`` buffers.  Dirty pages are
 written back on eviction and on ``flush``.  Hit/miss/eviction counters
 are kept so storage benchmarks can report cache effectiveness.
+
+These counters are deliberately plain ints rather than registry
+counters: ``get`` is the single hottest storage call, and the
+observability layer must cost nothing here.  The query engine instead
+snapshots :meth:`DiskGraph.io_stats` (which includes :meth:`stats`)
+around each statement and records the *deltas* as ``storage.page_cache.*``
+/ ``storage.pager.*`` metrics — see
+:meth:`repro.query.engine.QueryEngine._record_io_deltas`.
 """
 
 from collections import OrderedDict

@@ -88,6 +88,18 @@ class DiskGraph:
         """Buffer-pool statistics (hits/misses/evictions)."""
         return self._log.cache.stats()
 
+    def io_stats(self):
+        """Combined buffer-pool and physical page I/O counters.
+
+        The ``page_cache.*`` keys mirror :meth:`cache_stats`; the
+        ``pager.*`` keys count pages that actually reached the file.
+        The query engine snapshots this around each statement to report
+        per-query cache hit rates in ``EXPLAIN ANALYZE``.
+        """
+        stats = {f"page_cache.{k}": v for k, v in self._log.cache.stats().items()}
+        stats.update({f"pager.{k}": v for k, v in self._pager.io_stats().items()})
+        return stats
+
     def compact(self, dest_path, cache_pages=256):
         """Rewrite only the live record versions into a fresh store.
 

@@ -23,6 +23,9 @@ class Pager:
 
     def __init__(self, path, create=False, directed=False):
         self.path = os.fspath(path)
+        self.pages_read = 0
+        self.pages_written = 0
+        self.syncs = 0
         mode = "w+b" if create else "r+b"
         try:
             self._file = open(self.path, mode)
@@ -71,6 +74,7 @@ class Pager:
     def read_page(self, page_no):
         """Return the ``PAGE_SIZE`` bytes of page ``page_no`` (zero-padded
         past end-of-file)."""
+        self.pages_read += 1
         self._file.seek(page_no * PAGE_SIZE)
         data = self._file.read(PAGE_SIZE)
         if len(data) < PAGE_SIZE:
@@ -80,8 +84,17 @@ class Pager:
     def write_page(self, page_no, data):
         if len(data) != PAGE_SIZE:
             raise StorageError(f"page must be exactly {PAGE_SIZE} bytes, got {len(data)}")
+        self.pages_written += 1
         self._file.seek(page_no * PAGE_SIZE)
         self._file.write(data)
+
+    def io_stats(self):
+        """Physical page I/O counters since this pager was opened."""
+        return {
+            "pages_read": self.pages_read,
+            "pages_written": self.pages_written,
+            "syncs": self.syncs,
+        }
 
     def num_pages(self):
         self._file.seek(0, os.SEEK_END)
@@ -89,6 +102,7 @@ class Pager:
         return (size + PAGE_SIZE - 1) // PAGE_SIZE
 
     def sync(self):
+        self.syncs += 1
         self._file.flush()
         os.fsync(self._file.fileno())
 

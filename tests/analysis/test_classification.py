@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.analysis.classification import (
     classification_accuracy,
     collective_classify,

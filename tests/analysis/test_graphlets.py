@@ -5,7 +5,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.graphlets import (
-    ORBITS,
     gdd_distance,
     graphlet_degree_distribution,
     graphlet_profiles,

@@ -1,6 +1,5 @@
 """Tests for sampling-based approximate census."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

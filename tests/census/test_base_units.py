@@ -3,7 +3,7 @@ prepare_matches, containment distances)."""
 
 import pytest
 
-from repro.census.base import CensusMatch, CensusRequest, containment_distances, prepare_matches
+from repro.census.base import CensusRequest, containment_distances, prepare_matches
 from repro.errors import CensusError
 from repro.graph.graph import Graph
 from repro.matching.pattern import Pattern

@@ -1,6 +1,5 @@
 """Tests for top-k census evaluation."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -50,7 +50,7 @@ class TestIndex:
     def test_label_buckets_partition_nodes(self):
         g = labeled_preferential_attachment(100, m=2, seed=3)
         index = NodeProfileIndex(g)
-        total = sum(len(index.nodes_with_label(l)) for l in index.labels())
+        total = sum(len(index.nodes_with_label(lbl)) for lbl in index.labels())
         assert total == g.num_nodes
 
     def test_candidates_filter(self):

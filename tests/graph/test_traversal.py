@@ -1,6 +1,5 @@
 """Tests for BFS traversal primitives and neighborhood extraction."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

@@ -5,11 +5,10 @@ Arbitrary input must either parse or raise :class:`ParseError` /
 must round-trip.
 """
 
-import pytest
 from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
-from repro.errors import ParseError, QueryError, ReproError
+from repro.errors import ParseError, ReproError
 from repro.lang.lexer import tokenize
 from repro.lang.parser import parse_pattern, parse_query, parse_script
 

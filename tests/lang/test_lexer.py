@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ParseError
-from repro.lang.lexer import EOF, IDENT, NUMBER, STRING, SYMBOL, VARIABLE, tokenize
+from repro.lang.lexer import EOF, IDENT, NUMBER, STRING, VARIABLE, tokenize
 
 
 def kinds(text):

@@ -1,6 +1,5 @@
 """Tests for Match canonical keys and MatchSet helpers."""
 
-from repro.graph.graph import Graph
 from repro.matching.base import Match, MatchSet, dedupe_matches
 from repro.matching.pattern import Pattern
 

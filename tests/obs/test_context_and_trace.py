@@ -1,0 +1,126 @@
+"""Tests for ObsContext activation, span trees, and the disabled path."""
+
+import threading
+
+from repro.obs import DISABLED, ObsContext, activate, current_obs, render_span_tree
+
+
+class TestAmbientContext:
+    def test_disabled_by_default(self):
+        assert current_obs() is DISABLED
+        assert not current_obs().enabled
+
+    def test_activation_scopes_the_context(self):
+        ctx = ObsContext()
+        with activate(ctx):
+            assert current_obs() is ctx
+        assert current_obs() is DISABLED
+
+    def test_context_manager_form_activates(self):
+        with ObsContext() as ctx:
+            assert current_obs() is ctx
+            ctx.add("x")
+        assert current_obs() is DISABLED
+        assert ctx.registry.counter("x").value == 1
+
+    def test_disabled_hooks_are_noops(self):
+        obs = current_obs()
+        with obs.span("anything", k=3) as sp:
+            sp.set("a", 1)
+            obs.add("counter", 5)
+            obs.observe("hist", 1.0)
+            obs.set_gauge("gauge", 2)
+        # Nothing raised, nothing recorded anywhere.
+
+    def test_threads_do_not_inherit_activation(self):
+        ctx = ObsContext()
+        seen = []
+        with activate(ctx):
+            t = threading.Thread(target=lambda: seen.append(current_obs()))
+            t.start()
+            t.join()
+        assert seen == [DISABLED]
+
+
+class TestSpans:
+    def test_span_nesting_builds_a_tree(self):
+        with ObsContext() as ctx:
+            with ctx.span("root") as root:
+                with ctx.span("child-a"):
+                    with ctx.span("grandchild"):
+                        pass
+                with ctx.span("child-b", k=2):
+                    pass
+        assert [c.name for c in root.children] == ["child-a", "child-b"]
+        assert root.children[0].children[0].name == "grandchild"
+        assert root.children[1].attrs == {"k": 2}
+        assert ctx.roots == [root]
+
+    def test_counters_attach_to_innermost_span(self):
+        with ObsContext() as ctx:
+            with ctx.span("outer") as outer:
+                ctx.add("ops", 1)
+                with ctx.span("inner") as inner:
+                    ctx.add("ops", 10)
+        assert outer.metrics == {"ops": 1}
+        assert inner.metrics == {"ops": 10}
+        assert outer.subtree_metrics() == {"ops": 11}
+        assert ctx.registry.counter("ops").value == 11
+
+    def test_span_durations_nest_consistently(self):
+        with ObsContext() as ctx:
+            with ctx.span("outer") as outer:
+                with ctx.span("inner") as inner:
+                    pass
+        assert outer.end_time is not None
+        assert inner.duration <= outer.duration
+
+    def test_span_timer_recorded_in_registry(self):
+        with ObsContext() as ctx:
+            with ctx.span("stage"):
+                pass
+        assert ctx.registry.histogram("span.stage").count == 1
+
+    def test_find_and_walk(self):
+        with ObsContext() as ctx:
+            with ctx.span("a"):
+                with ctx.span("b", tag="x"):
+                    pass
+                with ctx.span("b", tag="y"):
+                    pass
+        root = ctx.root("a")
+        assert root.find("b", tag="y").attrs["tag"] == "y"
+        assert [s.name for s in root.walk()] == ["a", "b", "b"]
+
+    def test_to_dict_roundtrips_structure(self):
+        with ObsContext() as ctx:
+            with ctx.span("root", k=1):
+                ctx.add("n", 2)
+        doc = ctx.root().to_dict()
+        assert doc["name"] == "root"
+        assert doc["attrs"] == {"k": 1}
+        assert doc["metrics"] == {"n": 2}
+        assert doc["children"] == []
+        assert doc["duration_s"] >= 0
+
+
+class TestReport:
+    def test_report_contains_tree_counters_and_timers(self):
+        with ObsContext() as ctx:
+            with ctx.span("query.execute"):
+                ctx.add("census.match_units", 7)
+        text = ctx.report()
+        assert "query.execute" in text
+        assert "census.match_units" in text and "7" in text
+        assert "counters:" in text
+        assert "timers:" in text
+
+    def test_render_span_tree_indents_children(self):
+        with ObsContext() as ctx:
+            with ctx.span("parent"):
+                with ctx.span("child"):
+                    pass
+        text = render_span_tree(ctx.root())
+        lines = text.splitlines()
+        assert lines[0].startswith("parent")
+        assert lines[1].startswith("  child")

@@ -1,0 +1,61 @@
+"""Tests for JSON and Prometheus exporters."""
+
+import json
+
+from repro.obs import MetricsRegistry, prometheus_name, to_json, to_prometheus
+
+
+def make_registry():
+    reg = MetricsRegistry()
+    reg.counter("census.nd_pvot.bulk_added").inc(12)
+    reg.gauge("storage.page_cache.resident").set(44)
+    h = reg.histogram("span.query.execute", buckets=(0.01, 0.1))
+    h.observe(0.005)
+    h.observe(0.05)
+    h.observe(5.0)
+    return reg
+
+
+class TestJson:
+    def test_roundtrips_through_json(self):
+        doc = json.loads(to_json(make_registry()))
+        assert doc["counters"]["census.nd_pvot.bulk_added"] == 12
+        assert doc["gauges"]["storage.page_cache.resident"] == 44
+        hist = doc["histograms"]["span.query.execute"]
+        assert hist["count"] == 3
+        assert hist["inf"] == 1
+
+
+class TestPrometheusNames:
+    def test_dots_become_underscores_with_prefix(self):
+        assert (
+            prometheus_name("census.nd_pvot.bulk_added")
+            == "repro_census_nd_pvot_bulk_added"
+        )
+
+    def test_unsafe_chars_sanitized(self):
+        assert prometheus_name("a b-c", prefix="") == "a_b_c"
+
+    def test_leading_digit_escaped(self):
+        assert prometheus_name("9lives", prefix="")[0] == "_"
+
+
+class TestPrometheusText:
+    def test_counter_family(self):
+        text = to_prometheus(make_registry())
+        assert "# TYPE repro_census_nd_pvot_bulk_added_total counter" in text
+        assert "repro_census_nd_pvot_bulk_added_total 12" in text
+
+    def test_gauge_family(self):
+        text = to_prometheus(make_registry())
+        assert "repro_storage_page_cache_resident 44" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = to_prometheus(make_registry())
+        assert 'repro_span_query_execute_seconds_bucket{le="0.01"} 1' in text
+        assert 'repro_span_query_execute_seconds_bucket{le="0.1"} 2' in text
+        assert 'repro_span_query_execute_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_span_query_execute_seconds_count 3" in text
+
+    def test_empty_registry_exports_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""

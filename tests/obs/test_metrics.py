@@ -1,0 +1,100 @@
+"""Tests for the metrics registry primitives."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_same_name_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("x").inc(-1)
+
+    def test_thread_safety(self):
+        reg = MetricsRegistry()
+        c = reg.counter("shared")
+
+        def work():
+            for _ in range(10_000):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 40_000
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(10)
+        g.add(-3)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_observe_accumulates(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0, 10.0))
+        for v in (0.5, 2.0, 20.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == 22.5
+        assert h.min == 0.5 and h.max == 20.0
+        assert h.bucket_counts == [1, 1, 1]  # <=1, <=10, +Inf
+
+    def test_mean_of_empty_is_zero(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("empty").mean == 0.0
+
+
+class TestTimer:
+    def test_time_scope_observes_elapsed(self):
+        reg = MetricsRegistry()
+        with reg.timer("t").time():
+            pass
+        h = reg.histogram("t")
+        assert h.count == 1
+        assert h.sum >= 0.0
+
+    def test_timer_shares_histogram(self):
+        reg = MetricsRegistry()
+        reg.timer("t").observe(0.5)
+        assert reg.histogram("t").count == 1
+
+
+class TestSnapshot:
+    def test_snapshot_is_plain_data(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(7)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 7}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["histograms"]["h"]["buckets"] == [(1.0, 1)]
+
+    def test_len_counts_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        reg.gauge("b")
+        reg.histogram("c")
+        assert len(reg) == 3

@@ -97,3 +97,70 @@ class TestAggregateCache:
         b = eng.execute(q)
         assert a == b
         assert eng.cache_hits == 1
+
+
+class TestCacheCorrectness:
+    """The cache must never serve a result the current graph/catalog
+    would not produce."""
+
+    TRI_Q = "SELECT ID, COUNTP(clq3-unlb, SUBGRAPH(ID, 1)) AS c FROM nodes"
+
+    @staticmethod
+    def path_graph(n=6):
+        g = Graph()
+        for i in range(n):
+            g.add_node(i, label="U")
+        for i in range(n - 1):
+            g.add_edge(i, i + 1)
+        return g
+
+    def test_clear_cache_after_mutation_gives_fresh_counts(self):
+        g = self.path_graph()
+        eng = QueryEngine(g, cache=True)
+        before = eng.execute(self.TRI_Q)
+        assert all(row[1] == 0 for row in before)  # a path has no triangles
+        g.add_edge(0, 2)  # close a triangle
+        eng.clear_cache()
+        after = eng.execute(self.TRI_Q)
+        counts = {row[0]: row[1] for row in after}
+        assert counts[0] == counts[1] == counts[2] == 1
+        assert eng.cache_misses == 2  # both evaluations were real
+
+    def test_stale_without_clear_cache_documents_the_contract(self):
+        # The cache assumes an immutable graph; without clear_cache()
+        # a mutated graph is served stale results.  This is the
+        # documented contract clear_cache() exists for.
+        g = self.path_graph()
+        eng = QueryEngine(g, cache=True)
+        eng.execute(self.TRI_Q)
+        g.add_edge(0, 2)
+        stale = eng.execute(self.TRI_Q)
+        assert all(row[1] == 0 for row in stale)
+        assert eng.cache_hits == 1
+
+    def test_catalog_version_bump_invalidates(self):
+        g = self.path_graph()
+        eng = QueryEngine(g, cache=True)
+        eng.define_pattern("PATTERN mine {?A-?B;}")
+        version_before = eng.catalog.version
+        q = "SELECT ID, COUNTP(mine, SUBGRAPH(ID, 1)) AS c FROM nodes"
+        first = eng.execute(q)
+        eng.define_pattern("PATTERN mine {?A-?B; ?B-?C;}")
+        assert eng.catalog.version > version_before
+        second = eng.execute(q)
+        assert eng.cache_hits == 0 and eng.cache_misses == 2
+        assert first != second  # edge census vs wedge census
+
+    def test_hit_miss_counters_mirrored_into_registry(self):
+        from repro.obs import ObsContext
+
+        g = self.path_graph()
+        obs = ObsContext()
+        eng = QueryEngine(g, cache=True, obs=obs)
+        eng.execute(self.TRI_Q)
+        eng.execute(self.TRI_Q)
+        snap = obs.registry.snapshot()
+        assert snap["counters"]["query.aggregate_cache.misses"] == 1
+        assert snap["counters"]["query.aggregate_cache.hits"] == 1
+        # the engine's own counters are unchanged by the mirroring
+        assert (eng.cache_hits, eng.cache_misses) == (1, 1)

@@ -95,7 +95,7 @@ class TestBulkloadAndTopk:
                               "--radius", "1", "-k", "3"])
         assert code == 0
         assert "top 3 egos" in text
-        assert len([l for l in text.splitlines() if l.startswith("  ")]) == 3
+        assert len([ln for ln in text.splitlines() if ln.startswith("  ")]) == 3
 
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
@@ -110,3 +110,111 @@ class TestBulkloadAndTopk:
         ])
         assert code == 0
         assert "CENSUS" in text and "algorithm=" in text
+
+
+class TestEngineKnobs:
+    """--matcher / --pairwise-algorithm / --cache reach the engine."""
+
+    @pytest.fixture
+    def graph_file(self, tmp_path):
+        path = tmp_path / "g.json"
+        run_cli(["generate", str(path), "--nodes", "30", "--m", "2", "--seed", "5"])
+        return str(path)
+
+    QUERY = ("SELECT ID, COUNTP(clq3-unlb, SUBGRAPH(ID, 1)) AS c "
+             "FROM nodes ORDER BY c DESC, ID ASC LIMIT 5")
+
+    def test_matcher_choices_agree(self, graph_file):
+        outputs = []
+        for matcher in ("cn", "gql", "bruteforce"):
+            code, text = run_cli(["query", graph_file, "--matcher", matcher,
+                                  "-e", self.QUERY])
+            assert code == 0
+            outputs.append(text)
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_bad_matcher_rejected(self, graph_file):
+        with pytest.raises(SystemExit):
+            run_cli(["query", graph_file, "--matcher", "magic", "-e", self.QUERY])
+
+    def test_pairwise_algorithm_choices_agree(self, graph_file):
+        pair_q = ("SELECT n1.ID, n2.ID, "
+                  "COUNTP(single_node, SUBGRAPH-INTERSECTION(n1.ID, n2.ID, 1)) AS c "
+                  "FROM nodes AS n1, nodes AS n2 "
+                  "WHERE n1.ID < 3 AND n2.ID = n1.ID + 1")
+        results = []
+        for algo in ("nd", "pt"):
+            code, text = run_cli(["query", graph_file,
+                                  "--pairwise-algorithm", algo, "-e", pair_q])
+            assert code == 0
+            results.append(text)
+        assert results[0] == results[1]
+
+    def test_cache_flag_reuses_aggregate(self, graph_file, tmp_path):
+        script = tmp_path / "twice.sql"
+        script.write_text(f"{self.QUERY};\n{self.QUERY};\n")
+        code, text = run_cli(["query", graph_file, str(script),
+                              "--cache", "--profile"])
+        assert code == 0
+        assert "query.aggregate_cache.hits" in text
+        assert "query.aggregate_cache.misses" in text
+
+
+class TestProfileAndMetrics:
+    @pytest.fixture
+    def graph_file(self, tmp_path):
+        path = tmp_path / "g.json"
+        run_cli(["generate", str(path), "--nodes", "30", "--m", "2", "--seed", "5"])
+        return str(path)
+
+    def test_profile_prints_span_tree(self, graph_file):
+        code, text = run_cli([
+            "query", graph_file, "--profile", "-e",
+            "SELECT ID, COUNTP(clq3-unlb, SUBGRAPH(ID, 1)) AS c FROM nodes LIMIT 2",
+        ])
+        assert code == 0
+        assert "query.execute" in text
+        assert "query.scan" in text
+        assert "query.aggregate" in text
+        assert "counters:" in text
+
+    def test_metrics_out_json(self, graph_file, tmp_path):
+        import json
+
+        path = tmp_path / "m.json"
+        code, _ = run_cli([
+            "query", graph_file, "--metrics-out", str(path), "-e",
+            "SELECT ID, COUNTP(clq3-unlb, SUBGRAPH(ID, 1)) AS c FROM nodes LIMIT 2",
+        ])
+        assert code == 0
+        doc = json.loads(path.read_text())
+        assert doc["counters"]["query.focal_bindings"] == 30
+
+    def test_metrics_out_prometheus(self, graph_file, tmp_path):
+        path = tmp_path / "m.prom"
+        code, _ = run_cli([
+            "query", graph_file, "--metrics-out", str(path),
+            "--metrics-format", "prometheus", "-e",
+            "SELECT ID, COUNTP(clq3-unlb, SUBGRAPH(ID, 1)) AS c FROM nodes LIMIT 2",
+        ])
+        assert code == 0
+        text = path.read_text()
+        assert "# TYPE repro_query_focal_bindings_total counter" in text
+        assert "repro_query_focal_bindings_total 30" in text
+
+    def test_topk_profile(self, graph_file):
+        code, text = run_cli(["topk", graph_file, "--pattern", "clq3-unlb",
+                              "--radius", "1", "-k", "2", "--profile"])
+        assert code == 0
+        assert "census.topk" in text
+        assert "census.topk.exact_evaluations" in text
+
+    def test_log_level_flag(self, graph_file):
+        import logging
+
+        code, _ = run_cli(["--log-level", "debug", "stats", graph_file])
+        assert code == 0
+        logger = logging.getLogger("repro")
+        assert logger.level == logging.DEBUG
+        assert any(getattr(h, "_repro_configured", False)
+                   for h in logger.handlers)

@@ -1,7 +1,5 @@
 """Tests for query plan explanation."""
 
-import pytest
-
 from repro.graph.generators import labeled_preferential_attachment, preferential_attachment
 from repro.query.engine import QueryEngine
 

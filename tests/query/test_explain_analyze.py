@@ -1,0 +1,151 @@
+"""Tests for EXPLAIN ANALYZE and bind-time ORDER BY validation."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.graph.generators import preferential_attachment
+from repro.graph.graph import Graph
+from repro.lang.parser import parse_script
+from repro.query.engine import QueryEngine
+
+
+def triangle_chain():
+    """A small graph with a few triangles at known spots."""
+    g = Graph()
+    for i in range(10):
+        g.add_node(i, label="U")
+    for i in range(9):
+        g.add_edge(i, i + 1)
+    g.add_edge(0, 2)
+    g.add_edge(3, 5)
+    return g
+
+
+class TestParsing:
+    def test_explain_analyze_sets_flag(self):
+        (stmt,) = parse_script("EXPLAIN ANALYZE SELECT ID FROM nodes")
+        assert stmt.analyze is True
+
+    def test_plain_explain_does_not(self):
+        (stmt,) = parse_script("EXPLAIN SELECT ID FROM nodes")
+        assert stmt.analyze is False
+
+    def test_case_insensitive(self):
+        (stmt,) = parse_script("explain analyze select ID from nodes")
+        assert stmt.analyze is True
+
+
+class TestExplainAnalyze:
+    SCRIPT = ("EXPLAIN ANALYZE SELECT ID, COUNTP(clq3-unlb, SUBGRAPH(ID, 1)) "
+              "AS c FROM nodes ORDER BY c DESC LIMIT 3;")
+
+    def test_returns_annotated_plan_table(self):
+        eng = QueryEngine(triangle_chain())
+        (table,) = eng.execute_script(self.SCRIPT)
+        assert table.columns == ["plan"]
+        text = "\n".join(row[0] for row in table)
+        assert "SCAN nodes" in text
+        assert "(actual:" in text
+        assert "rows=10" in text
+        assert text.splitlines()[-1].startswith("TOTAL:")
+
+    def test_census_line_carries_counters(self):
+        eng = QueryEngine(triangle_chain())
+        (table,) = eng.execute_script(self.SCRIPT)
+        census_line = next(row[0] for row in table if row[0].startswith("CENSUS"))
+        assert "matches=2" in census_line  # the two planted triangles
+        assert "ran census." in census_line
+
+    def test_actually_executes(self):
+        eng = QueryEngine(triangle_chain(), cache=True)
+        eng.execute_script(self.SCRIPT)
+        assert eng.cache_misses == 1  # the census really ran
+
+    def test_cache_hit_is_reported(self):
+        eng = QueryEngine(triangle_chain(), cache=True)
+        eng.execute_script(self.SCRIPT)
+        (table,) = eng.execute_script(self.SCRIPT)
+        text = "\n".join(row[0] for row in table)
+        assert "served from aggregate cache" in text
+        assert "AGGREGATE CACHE: 1 hits" in text
+
+    def test_ambient_obs_untouched(self):
+        from repro.obs import current_obs
+
+        eng = QueryEngine(triangle_chain())
+        eng.execute_script(self.SCRIPT)
+        assert current_obs().enabled is False
+        assert eng.obs is None
+
+    def test_disk_graph_reports_storage(self, tmp_path):
+        from repro.storage import DiskGraph
+
+        DiskGraph.create(tmp_path / "g.db", triangle_chain()).close()
+        # Re-open so the record/page caches start cold and the query
+        # actually performs I/O worth reporting.
+        with DiskGraph.open(tmp_path / "g.db") as store:
+            eng = QueryEngine(store)
+            (table,) = eng.execute_script(self.SCRIPT)
+            text = "\n".join(row[0] for row in table)
+            assert "STORAGE: page cache" in text
+            assert "hit rate" in text
+            assert "pages read" in text
+
+    def test_pairwise_reasoning_in_plan(self):
+        eng = QueryEngine(triangle_chain(), pairwise_algorithm="pt")
+        plan = eng.explain(
+            "SELECT n1.ID, COUNTP(single_node, SUBGRAPH-UNION(n1.ID, n2.ID, 1)) "
+            "FROM nodes AS n1, nodes AS n2"
+        )
+        line = next(ln for ln in plan.splitlines()
+                    if ln.startswith("PAIRWISE CENSUS"))
+        assert "strategy=pt" in line
+        assert "[" in line and "coverage sets" in line
+
+    def test_pairwise_nd_reasoning(self):
+        eng = QueryEngine(triangle_chain(), pairwise_algorithm="nd")
+        plan = eng.explain(
+            "SELECT n1.ID, COUNTP(single_node, SUBGRAPH-UNION(n1.ID, n2.ID, 1)) "
+            "FROM nodes AS n1, nodes AS n2"
+        )
+        line = next(ln for ln in plan.splitlines()
+                    if ln.startswith("PAIRWISE CENSUS"))
+        assert "strategy=nd" in line and "pivot-index" in line
+
+
+class TestOrderByValidation:
+    def test_unknown_key_rejected_at_bind_time(self):
+        eng = QueryEngine(triangle_chain())
+        with pytest.raises(QueryError, match="ORDER BY key 'nope' matches no column"):
+            eng.execute("SELECT ID FROM nodes ORDER BY nope")
+
+    def test_rejected_before_any_census_runs(self):
+        eng = QueryEngine(preferential_attachment(30, m=2, seed=0), cache=True)
+        with pytest.raises(QueryError):
+            eng.execute(
+                "SELECT ID, COUNTP(clq3-unlb, SUBGRAPH(ID, 2)) AS c "
+                "FROM nodes ORDER BY missing"
+            )
+        assert eng.cache_misses == 0  # validation fired before evaluation
+
+    def test_aggregate_alias_is_valid_key(self):
+        eng = QueryEngine(triangle_chain())
+        table = eng.execute(
+            "SELECT ID, COUNTP(clq3-unlb, SUBGRAPH(ID, 1)) AS c "
+            "FROM nodes ORDER BY c DESC LIMIT 1"
+        )
+        assert len(table.rows) == 1
+
+    def test_case_insensitive_key(self):
+        eng = QueryEngine(triangle_chain())
+        table = eng.execute("SELECT ID FROM nodes ORDER BY id DESC LIMIT 2")
+        assert table.rows == [(9,), (8,)]
+
+    def test_default_column_name_is_valid_key(self):
+        eng = QueryEngine(triangle_chain())
+        (table,) = eng.execute_script(
+            "PATTERN wedge {?A-?B; ?B-?C;}\n"
+            "SELECT ID, COUNTP(wedge, SUBGRAPH(ID, 1)) FROM nodes "
+            "ORDER BY countp_wedge DESC LIMIT 1;"
+        )
+        assert len(table.rows) == 1

@@ -10,7 +10,7 @@ import tempfile
 
 from hypothesis import settings
 from hypothesis import strategies as st
-from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.graph.graph import Graph
 from repro.storage import DiskGraph

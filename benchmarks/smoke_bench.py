@@ -1,0 +1,125 @@
+"""CI smoke benchmark: tiny fig4c/fig4d configs vs a checked-in baseline.
+
+Runs in seconds, not minutes: one unlabeled-census config (Figure 4(c):
+``clq3-unlb`` on a small PA graph — node-driven territory, on both the
+dict and CSR backends) and one labeled config (Figure 4(d): ``clq3`` —
+pattern-driven territory).  Each measured time is compared against
+``benchmarks/results/smoke_baseline.json``; anything more than
+``--threshold`` times slower (default 3x, absorbing CI hardware jitter)
+fails the job.  Refresh the baseline with ``--write-baseline`` after an
+intentional perf change.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_bench.py
+    PYTHONPATH=src python benchmarks/smoke_bench.py --write-baseline
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.census import ALGORITHMS, parallel_census
+from repro.datasets.workloads import pa_graph
+from repro.graph.csr import freeze
+from repro.lang.catalog import standard_catalog
+
+BASELINE = os.path.join(os.path.dirname(__file__), "results", "smoke_baseline.json")
+N = 400
+K = 2
+REPS = 3
+
+
+def _best(fn):
+    best = None
+    for _ in range(REPS):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def run_configs():
+    """Measure every smoke config; returns ``{config_name: seconds}``."""
+    catalog = standard_catalog()
+    times = {}
+
+    # Figure 4(c): unselective unlabeled triangle, node-driven wins.
+    unlabeled = pa_graph(N, labeled=False)
+    clq3_unlb = catalog.get("clq3-unlb")
+    for backend, graph in (("dict", unlabeled), ("csr", freeze(unlabeled))):
+        for name in ("nd-pvot", "nd-diff"):
+            fn = ALGORITHMS[name]
+            times[f"fig4c/{name}/{backend}"] = _best(lambda: fn(graph, clq3_unlb, K))
+    times["fig4c/nd-pvot/csr-4w"] = _best(lambda: parallel_census(
+        freeze(unlabeled), clq3_unlb, K, algorithm="nd-pvot", workers=4,
+        executor="serial",
+    ))
+
+    # Figure 4(d): selective labeled triangle, pattern-driven wins.
+    labeled = pa_graph(N, labeled=True)
+    clq3 = catalog.get("clq3")
+    for name in ("pt-opt", "nd-pvot"):
+        fn = ALGORITHMS[name]
+        times[f"fig4d/{name}/dict"] = _best(lambda: fn(labeled, clq3, K))
+    return times
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=BASELINE)
+    parser.add_argument("--threshold", type=float, default=3.0,
+                        help="fail when current > threshold * baseline")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="record current times as the new baseline")
+    args = parser.parse_args(argv)
+
+    times = run_configs()
+    width = max(len(name) for name in times)
+    for name, seconds in sorted(times.items()):
+        print(f"{name.ljust(width)}  {seconds * 1000:9.2f} ms")
+
+    if args.write_baseline:
+        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        with open(args.baseline, "w") as f:
+            json.dump({"reps": REPS, "times": times}, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"baseline written to {args.baseline}")
+        return 0
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)["times"]
+    except FileNotFoundError:
+        print(f"no baseline at {args.baseline}; run with --write-baseline first",
+              file=sys.stderr)
+        return 2
+
+    regressions = []
+    for name, seconds in sorted(times.items()):
+        base = baseline.get(name)
+        if base is None:
+            print(f"note: {name} has no baseline entry (new config)")
+            continue
+        ratio = seconds / base
+        flag = "REGRESSION" if ratio > args.threshold else "ok"
+        print(f"{name.ljust(width)}  {ratio:5.2f}x baseline  {flag}")
+        if ratio > args.threshold:
+            regressions.append((name, ratio))
+
+    if regressions:
+        print(f"\n{len(regressions)} config(s) regressed more than "
+              f"{args.threshold}x:", file=sys.stderr)
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    print("\nsmoke bench ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

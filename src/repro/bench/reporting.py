@@ -1,4 +1,53 @@
-"""Text rendering of benchmark sweeps in the shape of the paper's figures."""
+"""Rendering of benchmark sweeps: figure-shaped text tables and the
+machine-readable ``BENCH_*.json`` files that track the perf trajectory
+across PRs."""
+
+import json
+import os
+import platform
+import sys
+
+
+def sweep_payload(sweep, unit="s", **context):
+    """Machine-readable dict for one sweep.
+
+    ``context`` keys (graph sizes, pattern names, ...) are attached
+    verbatim so a sweep is self-describing in the JSON file.
+    """
+    payload = {
+        "name": sweep.name,
+        "x_label": sweep.x_label,
+        "unit": unit,
+        "measurements": [
+            {"series": m.series, "x": m.x, "seconds": m.seconds,
+             **({"meta": m.meta} if m.meta else {})}
+            for m in sweep.measurements
+        ],
+    }
+    payload.update(context)
+    return payload
+
+
+def machine_info():
+    """The hardware/runtime context a benchmark result depends on."""
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def write_json(path, payload):
+    """Write one ``BENCH_*.json`` result (pretty, trailing newline)."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
 
 
 def render_series(sweep, unit="s", fmt="{:.3f}"):

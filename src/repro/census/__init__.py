@@ -32,6 +32,7 @@ from repro.census.nd_bas import nd_bas_census
 from repro.census.nd_diff import nd_diff_census
 from repro.census.nd_pvot import nd_pvot_census
 from repro.census.pairwise import pairwise_census
+from repro.census.parallel import chunk_focal_nodes, default_workers, parallel_census
 from repro.census.planner import choose_algorithm
 from repro.census.pmi import PatternMatchIndex
 from repro.census.pt_bas import pt_bas_census
@@ -48,7 +49,8 @@ ALGORITHMS = {
 }
 
 
-def census(graph, pattern, k, focal_nodes=None, subpattern=None, algorithm="auto", **options):
+def census(graph, pattern, k, focal_nodes=None, subpattern=None, algorithm="auto",
+           workers=1, **options):
     """Count matches of ``pattern`` in every focal node's k-hop neighborhood.
 
     Parameters
@@ -65,20 +67,32 @@ def census(graph, pattern, k, focal_nodes=None, subpattern=None, algorithm="auto
     algorithm:
         One of ``"auto"``, ``"nd-bas"``, ``"nd-diff"``, ``"nd-pvot"``,
         ``"pt-bas"``, ``"pt-opt"``, ``"pt-rnd"``.
+    workers:
+        Number of parallel workers for the counting phase.  ``1``
+        (the default) runs the classic serial algorithm; larger values
+        (or ``None`` for the CPU count) chunk the focal nodes across a
+        worker pool via :func:`repro.census.parallel.parallel_census`
+        (pass ``executor=`` / ``chunks=`` to tune it).
 
     Returns
     -------
     dict mapping each focal node to its count (zeros included).
     """
     if algorithm == "auto":
-        algorithm = choose_algorithm(graph, pattern, k, focal_nodes, subpattern)
-    try:
-        fn = ALGORITHMS[algorithm]
-    except KeyError:
+        algorithm = choose_algorithm(
+            graph, pattern, k, focal_nodes, subpattern, workers=workers
+        )
+    if algorithm not in ALGORITHMS:
         raise ValueError(
             f"unknown census algorithm {algorithm!r}; expected one of "
             f"{sorted(ALGORITHMS)} or 'auto'"
         )
+    if workers is None or workers > 1:
+        return parallel_census(
+            graph, pattern, k, focal_nodes=focal_nodes, subpattern=subpattern,
+            algorithm=algorithm, workers=workers, **options
+        )
+    fn = ALGORITHMS[algorithm]
     return fn(graph, pattern, k, focal_nodes=focal_nodes, subpattern=subpattern, **options)
 
 
@@ -101,6 +115,9 @@ __all__ = [
     "pt_rnd_census",
     "PTOptions",
     "pairwise_census",
+    "parallel_census",
+    "chunk_focal_nodes",
+    "default_workers",
     "choose_algorithm",
     "census_topk",
     "approximate_census",

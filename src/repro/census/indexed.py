@@ -1,0 +1,161 @@
+"""Bit-parallel census inner loops over CSR snapshots.
+
+The set-based census loops in :mod:`repro.census.nd_pvot` and friends
+are backend-neutral: any graph implementing the access-path API can run
+them.  A :class:`repro.graph.csr.CSRGraph` additionally exposes dense
+int indexes and contiguous adjacency arrays, which admits a much
+stronger execution strategy than per-focal-node BFS: process focal
+nodes in blocks of 64, one bit per source.
+
+Per block, a length-``n`` uint64 vector holds, for every database node,
+the set of sources whose BFS frontier currently contains it.  One
+frontier expansion for all 64 sources is a single
+``np.bitwise_or.reduceat`` over the union-adjacency CSR slices (node v
+collects the OR of its neighbors' frontier words).  Containment tests
+collapse the same way: a census match is inside ``S(s, k)`` for every
+source ``s`` whose bit survives ANDing the region words of its far
+images — one vector op across *all* units at once.  Per-source counts
+fall out of unpacking the surviving bit columns.
+
+The entry points return ``None`` whenever the graph (or environment)
+cannot take this path, and callers fall back to the generic set loop;
+counts and observability counters are identical either way.
+"""
+
+try:  # pragma: no cover - exercised via both branches in tests
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+from repro.graph.csr import CSRGraph, numpy_available
+
+
+class IndexedCounts:
+    """Counts plus the counters the generic loop would have produced."""
+
+    __slots__ = ("counts", "bulk", "checked", "visited")
+
+    def __init__(self, counts, bulk, checked, visited):
+        self.counts = counts
+        self.bulk = bulk
+        self.checked = checked
+        self.visited = visited
+
+
+def _layer_words(indptr, indices, degree_zero, source_words, k):
+    """Bit-parallel bounded BFS: 64 sources per call.
+
+    ``source_words`` is the (n,) uint64 layer-0 vector (bit s set on the
+    node that is source s).  Returns ``(layers, reached)`` where
+    ``layers[d]`` marks, per node, the sources whose BFS reaches it at
+    distance exactly ``d``, and ``reached`` is their OR.
+    """
+    reached = source_words.copy()
+    layers = [source_words]
+    frontier = source_words
+    # reduceat needs in-range start offsets and yields garbage (the
+    # element at the start offset) for empty slices; clamp the offsets
+    # and zero the empty rows afterwards.
+    starts = _np.minimum(indptr[:-1], max(len(indices) - 1, 0))
+    for _ in range(k):
+        if not frontier.any():
+            break
+        if not len(indices):
+            break
+        gathered = frontier[indices]
+        nbr_or = _np.bitwise_or.reduceat(gathered, starts)
+        nbr_or[degree_zero] = 0
+        frontier = nbr_or & ~reached
+        if not frontier.any():
+            break
+        reached |= frontier
+        layers.append(frontier)
+    return layers, reached
+
+
+def _bit_columns(words):
+    """(len(words), 64) 0/1 matrix; column ``s`` is source ``s``'s bit."""
+    return _np.unpackbits(
+        words.view(_np.uint8), bitorder="little"
+    ).reshape(len(words), 64)
+
+
+def pvot_indexed_counts(graph, focal_nodes, pmi, far_names, k, bulk_depth, prefix_at):
+    """ND-PVOT's focal loop, bit-parallel over a CSR snapshot.
+
+    ``pmi`` is the pivot-mode :class:`repro.census.pmi.PatternMatchIndex`;
+    ``far_names`` the containment variables at pivot distance >= 1,
+    sorted by decreasing distance; ``prefix_at[d]`` how many of them
+    need an explicit region test when the anchor sits at depth ``d``.
+    Returns :class:`IndexedCounts`, or ``None`` when the graph is not a
+    CSR snapshot (or numpy is unavailable) — the caller then runs the
+    generic set-based loop.  Counts and counters match it exactly.
+    """
+    if not isinstance(graph, CSRGraph) or not numpy_available() or _np is None:
+        return None
+
+    index = graph.node_index
+    n_nodes = len(graph.node_ids)
+    raw_indptr, raw_indices = graph.union_adjacency()
+    indptr = _np.frombuffer(raw_indptr, dtype=_np.int64)
+    indices = _np.frombuffer(raw_indices, dtype=_np.int64)
+    degree_zero = indptr[:-1] == indptr[1:]
+
+    # Per-unit structure: the anchor (pivot image) index and the far
+    # image indexes, column per far variable.
+    anchors = []
+    anchor_units = []  # parallel: number of units anchored there
+    unit_anchor = []
+    img_cols = [[] for _ in far_names]
+    for anchor in pmi.anchored_nodes():
+        units = pmi.matches_at(anchor)
+        a_idx = index[anchor]
+        anchors.append(a_idx)
+        anchor_units.append(len(units))
+        for unit in units:
+            unit_anchor.append(a_idx)
+            mapping = unit.match.mapping
+            for col, v in enumerate(far_names):
+                img_cols[col].append(index[mapping[v]])
+    anchors = _np.array(anchors, dtype=_np.int64)
+    anchor_units = _np.array(anchor_units, dtype=_np.int64)
+    unit_anchor = _np.array(unit_anchor, dtype=_np.int64)
+    img_cols = [_np.array(col, dtype=_np.int64) for col in img_cols]
+    deferred_depths = sorted(d for d in prefix_at if d <= k)
+
+    focal = list(focal_nodes)
+    counts = {}
+    bulk = checked = visited = 0
+    one = _np.uint64(1)
+    for start in range(0, len(focal), 64):
+        block = focal[start:start + 64]
+        source_words = _np.zeros(n_nodes, dtype=_np.uint64)
+        for s, node in enumerate(block):
+            source_words[index[node]] |= one << _np.uint64(s)
+        layers, reached = _layer_words(indptr, indices, degree_zero, source_words, k)
+        visited += int(_np.bitwise_count(reached).sum())
+
+        block_counts = _np.zeros(64, dtype=_np.int64)
+        # Bulk phase: anchors within depth <= k - max_v contain every
+        # anchored match wholesale.
+        if bulk_depth >= 0 and anchors.size:
+            near = layers[0].copy()
+            for d in range(1, min(bulk_depth, len(layers) - 1) + 1):
+                near |= layers[d]
+            anchor_words = near[anchors]
+            block_counts += anchor_units @ _bit_columns(anchor_words)
+            bulk += int((anchor_units * _np.bitwise_count(anchor_words)).sum())
+        # Deferred phase: anchors at depth d need their units' far
+        # images (the prefix_at[d] farthest ones) tested against the
+        # k-hop region — a bitword AND across all units at once.
+        for d in deferred_depths:
+            if d >= len(layers):
+                continue
+            unit_words = layers[d][unit_anchor]
+            checked += int(_np.bitwise_count(unit_words).sum())
+            for col in img_cols[:prefix_at[d]]:
+                unit_words = unit_words & reached[col]
+            block_counts += _bit_columns(unit_words).sum(axis=0, dtype=_np.int64)
+        for s, node in enumerate(block):
+            counts[node] = int(block_counts[s])
+    return IndexedCounts(counts, bulk, checked, visited)

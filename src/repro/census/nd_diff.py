@@ -42,15 +42,20 @@ def _shingle(graph, node):
 
 
 def nd_diff_census(graph, pattern, k, focal_nodes=None, subpattern=None, matcher="cn",
-                   order="neighbor"):
-    """Per-node census by differential counting."""
+                   order="neighbor", matches=None):
+    """Per-node census by differential counting.
+
+    ``matches`` adopts an existing global match list instead of running
+    the matcher (one matching pass amortized over many census calls —
+    see :mod:`repro.census.parallel`).
+    """
     if order not in ("neighbor", "shingle", "given"):
         raise ValueError(f"unknown ND-DIFF order {order!r}")
     obs = current_obs()
     with obs.span("census.nd_diff", k=k, pattern=pattern.name, order=order):
         request = CensusRequest(graph, pattern, k, focal_nodes, subpattern)
         counts = request.zero_counts()
-        units = prepare_matches(request, matcher=matcher)
+        units = prepare_matches(request, matcher=matcher, matches=matches)
         if not units:
             return counts
         pmi = PatternMatchIndex(units)

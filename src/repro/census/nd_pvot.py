@@ -14,8 +14,9 @@ checks are then short-circuited with distance arithmetic:
 """
 
 from repro.census.base import CensusRequest, containment_distances, prepare_matches
+from repro.census.indexed import pvot_indexed_counts
 from repro.census.pmi import PatternMatchIndex
-from repro.graph.traversal import bfs_layers
+from repro.graph.traversal import bfs_layer_sets
 from repro.obs import current_obs
 
 
@@ -51,39 +52,83 @@ def nd_pvot_census(graph, pattern, k, focal_nodes=None, subpattern=None, matcher
 
         pmi = PatternMatchIndex(units, pivot_var=pivot_var)
 
-        # distant[i] = containment variables at pattern distance >= i from the
-        # pivot; only their images need explicit checks when the BFS frontier
-        # is i-or-more hops short of guaranteeing containment.
-        distant = {
-            i: [v for v, d in pivot_dists.items() if d >= i]
-            for i in range(1, max_v + 1)
+        # The images of containment variables at pattern distance >= 1
+        # from the pivot, sorted by decreasing distance: an explicit
+        # check for a frontier d hops short only tests images whose
+        # pivot distance reaches the threshold ``k - d + 1``, and with
+        # the images distance-sorted that is a prefix of the tuple —
+        # ``prefix_at[d]`` images, precomputed per deferred depth.
+        far_vars = [(dv, v) for v, dv in pivot_dists.items() if dv >= 1]
+        far_vars.sort(key=lambda p: -p[0])
+        far_names = [v for _, v in far_vars]
+        # Layers at depth <= k - max_v are guaranteed fully contained;
+        # their anchored matches are added wholesale, no checks.
+        bulk_depth = k - max_v
+        prefix_at = {
+            d: sum(1 for dv, _ in far_vars if dv >= k - d + 1)
+            for d in range(max(bulk_depth + 1, 0), k + 1)
         }
 
-        bulk = checked = visited = 0
-        for n in request.focal_nodes:
-            total = 0
-            hood = {}
-            deferred = []
-            for n_prime, d in bfs_layers(graph, n, max_depth=k):
-                visited += 1
-                hood[n_prime] = d
-                anchored = pmi.matches_at(n_prime)
-                if not anchored:
-                    continue
-                if d + max_v <= k:
-                    total += len(anchored)
-                    bulk += len(anchored)
-                else:
-                    deferred.append((d, anchored))
-            # Explicit checks need the complete N_k(n), so they run after the
-            # BFS has finished.
-            for d, anchored in deferred:
-                need = distant.get(k - d + 1, ())
-                for unit in anchored:
-                    checked += 1
-                    if all(unit.match.image(v) in hood for v in need):
-                        total += 1
-            counts[n] = total
+        indexed = pvot_indexed_counts(
+            graph, request.focal_nodes, pmi, far_names, k, bulk_depth, prefix_at
+        )
+        if indexed is not None:
+            counts.update(indexed.counts)
+            bulk, checked, visited = indexed.bulk, indexed.checked, indexed.visited
+        else:
+            # Per anchor node, the far-image tuples of its anchored units
+            # (aligned with pmi.matches_at order): the containment loop
+            # walks plain tuples, no per-unit indirection.
+            matches_at = pmi.matches_at
+            images_at = {
+                n_prime: [
+                    tuple(unit.match.mapping[v] for v in far_names)
+                    for unit in matches_at(n_prime)
+                ]
+                for n_prime in pmi.anchored_nodes()
+            }
+            anchors = set(images_at)
+            n_far = len(far_names)
+
+            bulk = checked = visited = 0
+            for n in request.focal_nodes:
+                total = 0
+                hood = set()
+                deferred = []
+                for d, layer in enumerate(bfs_layer_sets(graph, n, max_depth=k)):
+                    visited += len(layer)
+                    hood |= layer
+                    hits = layer & anchors
+                    if not hits:
+                        continue
+                    if d <= bulk_depth:
+                        for n_prime in hits:
+                            added = len(images_at[n_prime])
+                            total += added
+                            bulk += added
+                    else:
+                        for n_prime in hits:
+                            deferred.append((d, images_at[n_prime]))
+                # Explicit checks need the complete N_k(n), so they run
+                # after the BFS has finished.
+                for d, image_tuples in deferred:
+                    m = prefix_at[d]
+                    checked += len(image_tuples)
+                    if m == n_far:
+                        for images in image_tuples:
+                            for image in images:
+                                if image not in hood:
+                                    break
+                            else:
+                                total += 1
+                    else:
+                        for images in image_tuples:
+                            for image in images[:m]:
+                                if image not in hood:
+                                    break
+                            else:
+                                total += 1
+                counts[n] = total
         if collect_stats is not None:
             collect_stats["bulk_added"] = bulk
             collect_stats["explicitly_checked"] = checked

@@ -1,0 +1,232 @@
+"""Parallel census execution: focal-node chunks over a shared snapshot.
+
+A census is embarrassingly parallel in its focal nodes: every algorithm
+returns ``{focal_node: count}`` and focal subsets partition the work.
+:func:`parallel_census` chunks the focal list contiguously, runs one
+census call per chunk on a pool of workers, and merges the per-chunk
+counts and observability counters deterministically (chunks are merged
+in chunk order regardless of completion order).
+
+Execution modes:
+
+- ``"process"`` — ``concurrent.futures.ProcessPoolExecutor``.  The
+  graph is shipped to each worker once, via the pool initializer;
+  :class:`repro.graph.csr.CSRGraph` snapshots are built for exactly
+  this (pickling keeps only the canonical arrays and rebuilds derived
+  caches lazily), so prefer ``freeze()``-ing the graph first.
+- ``"thread"`` — ``ThreadPoolExecutor``.  GIL-bound for the pure-Python
+  loops, useful for tests and for numpy-heavy paths that release the
+  GIL; also the automatic fallback when process pools are unavailable.
+- ``"serial"`` — run the chunks in-process, one after another (the
+  degenerate pool; ``workers=1`` uses it automatically).
+
+The matching pass is *not* parallelized: matches are found once in the
+parent (for every algorithm that supports ``matches=`` adoption) and
+shared with all chunks, so adding workers scales the per-focal-node
+counting phase — the part the paper's algorithms differ on.
+"""
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.census.base import CensusRequest
+from repro.errors import CensusError
+from repro.matching import find_matches
+from repro.obs import ObsContext, current_obs
+
+# nd-bas matches inside each extracted ego subgraph, so there is no
+# global match list to share; every other algorithm adopts ``matches=``.
+_ADOPTS_MATCHES = {"nd-pvot", "nd-diff", "pt-bas", "pt-opt", "pt-rnd"}
+
+# Worker-process state, installed once per worker by _init_worker.
+_WORKER = {}
+
+
+def chunk_focal_nodes(focal_nodes, chunks):
+    """Split ``focal_nodes`` into ``chunks`` contiguous, near-equal parts.
+
+    Contiguity matters: census algorithms (ND-DIFF especially) exploit
+    locality between successive focal nodes, and contiguous slices of a
+    node ordering preserve it.  Returns only non-empty chunks.
+    """
+    focal = list(focal_nodes)
+    if chunks <= 0:
+        raise CensusError(f"chunk count must be positive, got {chunks}")
+    size, extra = divmod(len(focal), chunks)
+    out = []
+    pos = 0
+    for i in range(chunks):
+        take = size + (1 if i < extra else 0)
+        if take:
+            out.append(focal[pos:pos + take])
+            pos += take
+    return out
+
+
+def _run_chunk_inline(graph, pattern, k, algorithm_fn, chunk, subpattern,
+                      matcher, matches, options):
+    """Run one chunk under a private ObsContext; return (counts, counters)."""
+    import time
+
+    ctx = ObsContext()
+    start = time.perf_counter()
+    with ctx:
+        kwargs = dict(options)
+        if matches is not None:
+            kwargs["matches"] = matches
+        counts = algorithm_fn(
+            graph, pattern, k, focal_nodes=chunk, subpattern=subpattern,
+            matcher=matcher, **kwargs
+        )
+    elapsed = time.perf_counter() - start
+    counters = dict(ctx.registry.snapshot()["counters"])
+    return counts, counters, elapsed
+
+
+def _init_worker(payload):
+    """Process-pool initializer: unpack the shared census state once."""
+    (graph, pattern, k, subpattern, matcher, algorithm, matches, options) = (
+        pickle.loads(payload)
+    )
+    from repro.census import ALGORITHMS
+
+    _WORKER["args"] = (
+        graph, pattern, k, ALGORITHMS[algorithm], subpattern, matcher,
+        matches, options,
+    )
+
+
+def _run_chunk_in_worker(chunk):
+    """Process-pool task: run one focal chunk against the shared state."""
+    graph, pattern, k, fn, subpattern, matcher, matches, options = _WORKER["args"]
+    return _run_chunk_inline(
+        graph, pattern, k, fn, chunk, subpattern, matcher, matches, options
+    )
+
+
+def default_workers():
+    """Worker count used for ``workers=None``: the CPU count, capped."""
+    return min(os.cpu_count() or 1, 8)
+
+
+def parallel_census(graph, pattern, k, focal_nodes=None, subpattern=None,
+                    algorithm="nd-pvot", matcher="cn", workers=None,
+                    executor="process", chunks=None, matches=None, **options):
+    """Count matches of ``pattern`` around every focal node, in parallel.
+
+    Parameters beyond :func:`repro.census.census`:
+
+    workers:
+        Worker count (``None`` → :func:`default_workers`).  ``1`` runs
+        the chunks serially in-process.
+    executor:
+        ``"process"``, ``"thread"``, or ``"serial"``.  Process pools
+        fall back to threads when the platform cannot fork/spawn.
+    chunks:
+        Number of focal chunks (default: one per worker).
+    matches:
+        Adopt an existing global match list.  When omitted, matching
+        runs once in the parent and is shared with every chunk (except
+        for ``nd-bas``, which has no global matching pass).
+
+    Returns ``{focal_node: count}``, identical to the serial census.
+    """
+    from repro.census import ALGORITHMS
+
+    if algorithm not in ALGORITHMS:
+        raise CensusError(
+            f"unknown census algorithm {algorithm!r}; expected one of "
+            f"{sorted(ALGORITHMS)}"
+        )
+    fn = ALGORITHMS[algorithm]
+    obs = current_obs()
+    with obs.span("census.parallel", algorithm=algorithm, k=k) as span:
+        request = CensusRequest(graph, pattern, k, focal_nodes, subpattern)
+        if workers is None:
+            workers = default_workers()
+        workers = max(1, int(workers))
+        if chunks is None:
+            chunks = workers
+        focal_chunks = chunk_focal_nodes(request.focal_nodes, chunks)
+        if not focal_chunks:
+            return {}
+
+        if matches is None and algorithm in _ADOPTS_MATCHES:
+            # One matching pass, shared by every chunk.  Subpattern
+            # censuses need raw (non-distinct) embeddings, mirroring
+            # prepare_matches.
+            distinct = subpattern is None
+            matches = find_matches(graph, pattern, method=matcher, distinct=distinct)
+
+        workers = min(workers, len(focal_chunks))
+        if workers <= 1 or len(focal_chunks) == 1:
+            executor = "serial"
+
+        results = _execute(
+            executor, workers, graph, pattern, k, fn, algorithm, focal_chunks,
+            subpattern, matcher, matches, options,
+        )
+
+        counts = {}
+        merged = {}
+        chunk_seconds = []
+        for chunk_counts, counters, elapsed in results:
+            counts.update(chunk_counts)
+            chunk_seconds.append(elapsed)
+            for name, value in counters.items():
+                merged[name] = merged.get(name, 0) + value
+        if obs.enabled:
+            for name in sorted(merged):
+                obs.add(name, merged[name])
+            obs.add("census.parallel.chunks", len(focal_chunks))
+            obs.add("census.parallel.workers", workers)
+            for elapsed in chunk_seconds:
+                obs.observe("census.parallel.chunk_seconds", elapsed)
+            span.set("chunks", len(focal_chunks))
+            span.set("workers", workers)
+        return counts
+
+
+def _execute(executor, workers, graph, pattern, k, fn, algorithm, focal_chunks,
+             subpattern, matcher, matches, options):
+    """Run the chunks on the requested executor, in chunk order."""
+    if executor == "serial":
+        return [
+            _run_chunk_inline(
+                graph, pattern, k, fn, chunk, subpattern, matcher, matches, options
+            )
+            for chunk in focal_chunks
+        ]
+    if executor == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _run_chunk_inline, graph, pattern, k, fn, chunk,
+                    subpattern, matcher, matches, options,
+                )
+                for chunk in focal_chunks
+            ]
+            return [f.result() for f in futures]
+    if executor == "process":
+        payload = pickle.dumps(
+            (graph, pattern, k, subpattern, matcher, algorithm, matches, options)
+        )
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers, initializer=_init_worker, initargs=(payload,)
+            ) as pool:
+                futures = [
+                    pool.submit(_run_chunk_in_worker, chunk)
+                    for chunk in focal_chunks
+                ]
+                return [f.result() for f in futures]
+        except (OSError, PermissionError):
+            # Sandboxes without fork/spawn: degrade to threads.
+            return _execute(
+                "thread", workers, graph, pattern, k, fn, algorithm,
+                focal_chunks, subpattern, matcher, matches, options,
+            )
+    raise CensusError(
+        f"unknown executor {executor!r}; expected 'process', 'thread', or 'serial'"
+    )

@@ -61,7 +61,7 @@ def estimate_matches(graph, pattern):
 
 
 def choose_algorithm(graph, pattern, k, focal_nodes=None, subpattern=None,
-                     match_threshold_fraction=0.05):
+                     match_threshold_fraction=0.05, workers=1):
     """Pick a census algorithm name for :func:`repro.census.census`.
 
     Pattern-driven evaluation pays per match; node-driven pays per
@@ -69,6 +69,11 @@ def choose_algorithm(graph, pattern, k, focal_nodes=None, subpattern=None,
     focal-node count: few expected matches -> pattern-driven (PT-OPT),
     otherwise node-driven (ND-PVOT).  Very small focal sets always go
     node-driven — touching only those nodes beats any global strategy.
+
+    ``workers > 1`` biases toward node-driven: focal chunks partition
+    node-driven work cleanly, while pattern-driven traversals repeat
+    per-cluster setup in every chunk, so parallel speedup favors
+    ND-PVOT even where a serial plan would pick PT-OPT.
     """
     num_nodes = max(1, graph.num_nodes)
     if focal_nodes is None:
@@ -78,6 +83,9 @@ def choose_algorithm(graph, pattern, k, focal_nodes=None, subpattern=None,
         focal_count = len(focal)
 
     if focal_count <= max(2, match_threshold_fraction * num_nodes):
+        return "nd-pvot"
+
+    if workers is None or workers > 1:
         return "nd-pvot"
 
     # Pattern-driven work per match (a bounded multi-source traversal)

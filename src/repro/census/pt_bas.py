@@ -1,14 +1,14 @@
 """PT-BAS: the pattern-driven baseline (Section IV-B).
 
 Processes each match independently: BFS to depth ``k`` from every node
-of the match, take the match node with the fewest k-hop neighbors, and
-for each of its neighbors check reachability within ``k`` hops from
-every other match node.  Each edge around a match may be traversed once
-per match node — the redundancy PT-OPT's simultaneous traversal removes.
+of the match, then intersect the k-hop neighborhoods (smallest first) —
+the surviving focal nodes each count the match.  Each edge around a
+match may be traversed once per match node — the redundancy PT-OPT's
+simultaneous traversal removes.
 """
 
 from repro.census.base import CensusRequest, prepare_matches
-from repro.graph.traversal import k_hop_distances
+from repro.graph.traversal import bfs_layer_sets
 from repro.obs import current_obs
 
 
@@ -40,17 +40,23 @@ def pt_bas_census(graph, pattern, k, focal_nodes=None, subpattern=None, matcher=
         edge_visits = 0
         focal = set(request.focal_nodes)
         for unit in units:
-            dist_maps = {m: k_hop_distances(graph, m, k) for m in unit.nodes}
-            if want_stats:
-                for d in dist_maps.values():
-                    edge_visits += sum(
-                        graph.degree(n) for n, dist in d.items() if dist < k
-                    )
-            m_min = min(dist_maps, key=lambda m: len(dist_maps[m]))
-            others = [d for m, d in dist_maps.items() if m is not m_min]
-            for n in dist_maps[m_min]:
-                if n in focal and all(n in d for d in others):
-                    counts[n] += 1
+            hoods = []
+            for m in unit.nodes:
+                hood = set()
+                for d, layer in enumerate(bfs_layer_sets(graph, m, k)):
+                    hood |= layer
+                    if want_stats and d < k:
+                        edge_visits += sum(graph.degree(x) for x in layer)
+                hoods.append(hood)
+            # A node counts the match when it lies within k of *every*
+            # match node: the intersection of the k-hop neighborhoods,
+            # built smallest-first.
+            hoods.sort(key=len)
+            covered = hoods[0]
+            for hood in hoods[1:]:
+                covered &= hood
+            for n in covered & focal:
+                counts[n] += 1
         if collect_stats is not None:
             collect_stats["edge_visits"] = edge_visits
         if obs.enabled:

@@ -57,11 +57,13 @@ class PTOptions:
 
 
 def pt_opt_census(graph, pattern, k, focal_nodes=None, subpattern=None,
-                  matcher="cn", options=None, **overrides):
+                  matcher="cn", options=None, matches=None, **overrides):
     """Per-node census with the fully optimized pattern-driven algorithm.
 
     Keyword overrides are applied on top of ``options`` (or the default
     :class:`PTOptions`), e.g. ``pt_opt_census(g, p, 2, num_centers=4)``.
+    ``matches`` adopts an existing global match list instead of running
+    the matcher.
     """
     opts = options or PTOptions()
     if overrides:
@@ -70,7 +72,7 @@ def pt_opt_census(graph, pattern, k, focal_nodes=None, subpattern=None,
     with obs.span("census.pt_opt", k=k, pattern=pattern.name, order=opts.order):
         request = CensusRequest(graph, pattern, k, focal_nodes, subpattern)
         counts = request.zero_counts()
-        units = prepare_matches(request, matcher=matcher)
+        units = prepare_matches(request, matcher=matcher, matches=matches)
         if not units:
             return counts
 
@@ -118,13 +120,13 @@ def pt_opt_census(graph, pattern, k, focal_nodes=None, subpattern=None,
 
 
 def pt_rnd_census(graph, pattern, k, focal_nodes=None, subpattern=None,
-                  matcher="cn", options=None, **overrides):
+                  matcher="cn", options=None, matches=None, **overrides):
     """PT-OPT with random instead of best-first traversal order."""
     opts = options or PTOptions()
     merged = {**_as_dict(opts), **overrides, "order": "random"}
     return pt_opt_census(
         graph, pattern, k, focal_nodes=focal_nodes, subpattern=subpattern,
-        matcher=matcher, options=PTOptions(**merged),
+        matcher=matcher, options=PTOptions(**merged), matches=matches,
     )
 
 

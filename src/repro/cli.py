@@ -107,6 +107,8 @@ def _cmd_query(args, out):
 
     graph = _load_graph(args.graph)
     obs = _make_obs(args)
+    if args.workers == 0:  # 0 = auto (CPU count)
+        args.workers = None
     engine = QueryEngine(
         graph,
         seed=args.seed,
@@ -115,6 +117,8 @@ def _cmd_query(args, out):
         matcher=args.matcher,
         cache=args.cache,
         obs=obs,
+        backend=args.backend,
+        workers=args.workers,
     )
     if args.execute:
         script = args.execute
@@ -143,7 +147,10 @@ def _cmd_explain(args, out):
     from repro.query.engine import QueryEngine
 
     graph = _load_graph(args.graph)
-    engine = QueryEngine(graph, algorithm=args.algorithm)
+    engine = QueryEngine(
+        graph, algorithm=args.algorithm, backend=args.backend,
+        workers=args.workers if args.workers != 0 else None,
+    )
     print(engine.explain(args.query), file=out)
     return 0
 
@@ -205,6 +212,12 @@ def build_parser():
                        help="strategy for intersection/union aggregates")
     query.add_argument("--matcher", choices=("cn", "gql", "bruteforce"),
                        default="cn", help="subgraph matching method")
+    query.add_argument("--backend", choices=("dict", "csr"), default="dict",
+                       help="graph backend: query as-is, or freeze into a "
+                            "read-optimized CSR snapshot first")
+    query.add_argument("--workers", type=int, default=1,
+                       help="parallel census workers (0 = CPU count); "
+                            "focal nodes are chunked over a process pool")
     query.add_argument("--cache", action="store_true",
                        help="cache aggregate results across statements")
     query.add_argument("--seed", type=int, default=0)
@@ -221,6 +234,9 @@ def build_parser():
     explain.add_argument("graph")
     explain.add_argument("query")
     explain.add_argument("--algorithm", default="auto")
+    explain.add_argument("--backend", choices=("dict", "csr"), default="dict")
+    explain.add_argument("--workers", type=int, default=1,
+                         help="parallel census workers (0 = CPU count)")
     explain.set_defaults(func=_cmd_explain)
 
     topk = sub.add_parser("topk", help="highest-count egos for a catalog pattern")

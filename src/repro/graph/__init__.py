@@ -12,6 +12,7 @@ Both the in-memory :class:`Graph` and the disk-resident
 paper's prototype which ran on top of a disk-based graph engine (Neo4j).
 """
 
+from repro.graph.csr import CSRGraph, CSRProfileIndex, freeze
 from repro.graph.graph import Graph
 from repro.graph.profiles import NodeProfileIndex, profile_contains
 from repro.graph.traversal import (
@@ -28,6 +29,9 @@ from repro.graph.views import induced_subgraph, intersection_neighborhood, union
 
 __all__ = [
     "Graph",
+    "CSRGraph",
+    "CSRProfileIndex",
+    "freeze",
     "NodeProfileIndex",
     "profile_contains",
     "bfs_distances",

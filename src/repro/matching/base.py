@@ -121,7 +121,11 @@ def enumerate_candidates(graph, pattern, profile_index=None):
     containment, and single-variable predicates.
     """
     if profile_index is None:
-        profile_index = NodeProfileIndex(graph)
+        # CSR snapshots carry a prebuilt profile index; building one per
+        # matching pass is pure waste on a frozen graph.
+        profile_index = getattr(graph, "profile_index", None)
+        if profile_index is None:
+            profile_index = NodeProfileIndex(graph)
     candidates = {}
     for var in pattern.nodes:
         label = pattern.label_of(var)

@@ -61,8 +61,10 @@ def build_cn_state(graph, pattern, profile_index=None):
         for n in cset:
             entry = {}
             for other, edge, eid in neighbor_lists[var]:
-                entry[(other, eid)] = candidates[other] & set(
-                    neighbor_set(graph, n, var, edge)
+                # `&` allocates a fresh set, so the graph's own neighbor
+                # set is never aliased into the mutable CN state.
+                entry[(other, eid)] = candidates[other] & neighbor_set(
+                    graph, n, var, edge
                 )
             cn[(var, n)] = entry
 

@@ -85,6 +85,7 @@ class Pattern:
         self.predicates = []
         self.subpatterns = {}
         self._distance_cache = None
+        self._edge_split_cache = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -113,6 +114,7 @@ class Pattern:
         edge = PatternEdge(u, v, directed=directed, negated=negated)
         self.edges.append(edge)
         self._distance_cache = None
+        self._edge_split_cache = None
         return edge
 
     def add_predicate(self, predicate):
@@ -152,11 +154,22 @@ class Pattern:
     # ------------------------------------------------------------------
     # Structure queries (over positive edges)
     # ------------------------------------------------------------------
+    def _edge_split(self):
+        # Matchers call these per candidate binding; recomputing the
+        # partition each time shows up in census profiles.
+        split = self._edge_split_cache
+        if split is None:
+            split = self._edge_split_cache = (
+                tuple(e for e in self.edges if not e.negated),
+                tuple(e for e in self.edges if e.negated),
+            )
+        return split
+
     def positive_edges(self):
-        return [e for e in self.edges if not e.negated]
+        return self._edge_split()[0]
 
     def negative_edges(self):
-        return [e for e in self.edges if e.negated]
+        return self._edge_split()[1]
 
     def positive_neighbors(self, var):
         """``[(other_var, edge)]`` for positive edges incident to ``var``."""

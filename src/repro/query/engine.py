@@ -12,6 +12,7 @@ from itertools import product
 
 from repro.census import census, pairwise_census
 from repro.errors import QueryError
+from repro.graph.csr import freeze
 from repro.lang.ast import Aggregate, ExplainStatement, SelectQuery
 from repro.lang.catalog import PatternCatalog, standard_patterns
 from repro.lang.expressions import evaluate_where, expression_columns
@@ -47,11 +48,26 @@ class QueryEngine:
         metrics into.  ``None`` (the default) uses whatever context is
         ambient (``repro.obs.current_obs()``), which is the disabled
         no-op context unless a caller activated one.
+    backend:
+        ``'dict'`` queries the graph as given; ``'csr'`` freezes it into
+        a :class:`repro.graph.csr.CSRGraph` snapshot at construction
+        (call :meth:`refresh_snapshot` after mutating the source graph).
+    workers:
+        Worker count for ``COUNTP``/``COUNTSP`` censuses; ``1`` is the
+        classic serial path, larger values (or ``None`` for the CPU
+        count) chunk focal nodes over a process pool (see
+        :mod:`repro.census.parallel`).  Pairwise censuses stay serial.
     """
 
     def __init__(self, graph, catalog=None, seed=0, algorithm="auto",
-                 pairwise_algorithm="nd", matcher="cn", cache=False, obs=None):
-        self.graph = graph
+                 pairwise_algorithm="nd", matcher="cn", cache=False, obs=None,
+                 backend="dict", workers=1):
+        if backend not in ("dict", "csr"):
+            raise QueryError(f"unknown backend {backend!r}; expected 'dict' or 'csr'")
+        self.base_graph = graph
+        self.backend = backend
+        self.workers = workers
+        self.graph = freeze(graph) if backend == "csr" else graph
         self.catalog = catalog if catalog is not None else PatternCatalog(standard_patterns())
         self.seed = seed
         self.algorithm = algorithm
@@ -69,6 +85,12 @@ class QueryEngine:
     def clear_cache(self):
         """Drop cached aggregate results (call after mutating the graph)."""
         self._cache.clear()
+
+    def refresh_snapshot(self):
+        """Re-freeze the source graph (CSR backend) and drop the cache."""
+        if self.backend == "csr":
+            self.graph = freeze(self.base_graph)
+        self.clear_cache()
 
     # ------------------------------------------------------------------
     # Statement entry points
@@ -307,6 +329,7 @@ class QueryEngine:
                     subpattern=agg.subpattern_name,
                     algorithm=self.algorithm,
                     matcher=self.matcher,
+                    workers=self.workers,
                 ),
             )
             return {binding: counts[binding[pos]] for binding in bindings}

@@ -43,18 +43,25 @@ def explain_query(engine, query):
         pattern = engine.catalog.get(item.pattern_name)
         hood = item.neighborhood
         if hood.kind == "subgraph":
+            workers = getattr(engine, "workers", 1)
             if engine.algorithm == "auto":
-                algorithm = choose_algorithm(engine.graph, pattern, hood.k)
+                algorithm = choose_algorithm(
+                    engine.graph, pattern, hood.k, workers=workers
+                )
                 reason = _planner_reason(engine.graph, pattern, algorithm)
             else:
                 algorithm = engine.algorithm
                 reason = "pinned by engine configuration"
+            parallel = "" if workers == 1 else (
+                f", workers={'auto' if workers is None else workers}"
+                " (focal chunks over a worker pool)"
+            )
             lines.append(
                 f"CENSUS {item.output_name}: pattern={pattern.name} "
                 f"({len(pattern.nodes)} vars, {len(pattern.positive_edges())} edges, "
                 f"{len(pattern.negative_edges())} negated, "
                 f"{len(pattern.predicates)} predicates), k={hood.k}, "
-                f"algorithm={algorithm} [{reason}]"
+                f"algorithm={algorithm}{parallel} [{reason}]"
             )
         else:
             reason = _pairwise_reason(engine.graph, pattern, engine.pairwise_algorithm)
@@ -136,6 +143,8 @@ _ANALYZE_COUNTERS = (
     ("census.nd_bas.subgraphs_extracted", "subgraphs extracted"),
     ("census.nd_diff.restarts", "restarts"),
     ("census.nd_diff.diff_steps", "differential steps"),
+    ("census.parallel.chunks", "focal chunks"),
+    ("census.parallel.workers", "workers"),
     ("census.pt_bas.edge_visits", "edge visits"),
     ("census.pt_opt.edge_visits", "edge visits"),
     ("census.pt_opt.queue_pops", "bucket-queue pops"),
@@ -172,7 +181,7 @@ def explain_analyze(engine, query):
     for line in explain_query(engine, query).splitlines():
         lines.append(_annotate_plan_line(line, root))
     if root is not None:
-        lines.extend(_execution_summary(root))
+        lines.extend(_execution_summary(root, ctx))
     return "\n".join(lines)
 
 
@@ -220,13 +229,23 @@ def _aggregate_actuals(span):
     return "; " + ", ".join(parts)
 
 
-def _execution_summary(root):
+def _execution_summary(root, ctx):
     lines = []
     metrics = root.subtree_metrics()
     hits = metrics.get("query.aggregate_cache.hits", 0)
     misses = metrics.get("query.aggregate_cache.misses", 0)
     if hits or misses:
         lines.append(f"AGGREGATE CACHE: {hits} hits, {misses} misses")
+    chunk_hist = ctx.registry.histograms().get("census.parallel.chunk_seconds")
+    if chunk_hist is not None and chunk_hist.count:
+        lines.append(
+            f"PARALLEL: {metrics.get('census.parallel.chunks', chunk_hist.count)} "
+            f"chunks over {metrics.get('census.parallel.workers', '?')} workers; "
+            f"per-chunk {format_duration(chunk_hist.min)} min / "
+            f"{format_duration(chunk_hist.mean)} mean / "
+            f"{format_duration(chunk_hist.max)} max "
+            f"(critical path {format_duration(chunk_hist.max)})"
+        )
     storage = {
         name[len("storage."):]: value
         for name, value in metrics.items()

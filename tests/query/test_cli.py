@@ -218,3 +218,56 @@ class TestProfileAndMetrics:
         assert logger.level == logging.DEBUG
         assert any(getattr(h, "_repro_configured", False)
                    for h in logger.handlers)
+
+
+class TestBackendAndWorkers:
+    """--backend {dict,csr} and --workers N reach the census executor."""
+
+    @pytest.fixture
+    def graph_file(self, tmp_path):
+        path = tmp_path / "g.json"
+        run_cli(["generate", str(path), "--nodes", "40", "--m", "2", "--seed", "3"])
+        return str(path)
+
+    QUERY = ("SELECT ID, COUNTP(clq3-unlb, SUBGRAPH(ID, 2)) AS c "
+             "FROM nodes ORDER BY c DESC, ID ASC LIMIT 5")
+
+    def test_backends_agree(self, graph_file):
+        outputs = []
+        for backend in ("dict", "csr"):
+            code, text = run_cli(["query", graph_file, "--backend", backend,
+                                  "-e", self.QUERY])
+            assert code == 0
+            outputs.append(text)
+        assert outputs[0] == outputs[1]
+
+    def test_workers_agree(self, graph_file):
+        outputs = []
+        for workers in ("1", "4"):
+            code, text = run_cli(["query", graph_file, "--backend", "csr",
+                                  "--workers", workers, "-e", self.QUERY])
+            assert code == 0
+            outputs.append(text)
+        assert outputs[0] == outputs[1]
+
+    def test_bad_backend_rejected(self, graph_file):
+        with pytest.raises(SystemExit):
+            run_cli(["query", graph_file, "--backend", "sparse",
+                     "-e", self.QUERY])
+
+    def test_parallel_explain_analyze_reports_chunks(self, graph_file):
+        code, text = run_cli([
+            "query", graph_file, "--backend", "csr", "--workers", "4", "-e",
+            "EXPLAIN ANALYZE " + self.QUERY,
+        ])
+        assert code == 0
+        assert "focal chunks=4" in text
+        assert "workers=4" in text
+        assert "PARALLEL:" in text
+        assert "critical path" in text
+
+    def test_explain_shows_parallel_plan(self, graph_file):
+        code, text = run_cli(["explain", graph_file, self.QUERY,
+                              "--backend", "csr", "--workers", "4"])
+        assert code == 0
+        assert "workers=4 (focal chunks over a worker pool)" in text

@@ -205,3 +205,36 @@ class TestDiskGraphBackend:
         eng_disk = QueryEngine(store)
         q = "SELECT ID, COUNTP(clq3, SUBGRAPH(ID, 2)) FROM nodes ORDER BY ID"
         assert eng_mem.execute(q) == eng_disk.execute(q)
+
+
+class TestCSRBackendAndWorkers:
+    Q = "SELECT ID, COUNTP(clq3, SUBGRAPH(ID, 2)) AS c FROM nodes ORDER BY ID"
+
+    def test_csr_backend_matches_dict(self):
+        g = labeled_preferential_attachment(50, m=2, seed=4)
+        assert QueryEngine(g).execute(self.Q) == QueryEngine(
+            g, backend="csr"
+        ).execute(self.Q)
+
+    def test_workers_match_serial(self):
+        g = labeled_preferential_attachment(50, m=2, seed=4)
+        assert QueryEngine(g).execute(self.Q) == QueryEngine(
+            g, backend="csr", workers=4
+        ).execute(self.Q)
+
+    def test_unknown_backend_rejected(self):
+        from repro.errors import QueryError
+
+        g = labeled_preferential_attachment(10, m=2, seed=0)
+        with pytest.raises(QueryError):
+            QueryEngine(g, backend="columnar")
+
+    def test_refresh_snapshot_picks_up_mutations(self):
+        g = labeled_preferential_attachment(30, m=2, seed=2)
+        eng = QueryEngine(g, backend="csr")
+        before = eng.execute(self.Q)
+        node = g.num_nodes
+        g.add_node(node, label="A")
+        eng.refresh_snapshot()
+        after = eng.execute(self.Q)
+        assert len(after.rows) == len(before.rows) + 1

@@ -29,6 +29,10 @@ except ImportError:  # pragma: no cover
 
 from repro.graph.csr import CSRGraph, numpy_available
 
+# np.bitwise_count arrived in numpy 2.0; on numpy 1.x the generic
+# set-based loop must run instead of this module's bit-parallel path.
+_HAS_BITWISE_COUNT = _np is not None and hasattr(_np, "bitwise_count")
+
 
 class IndexedCounts:
     """Counts plus the counters the generic loop would have produced."""
@@ -53,16 +57,20 @@ def _layer_words(indptr, indices, degree_zero, source_words, k):
     reached = source_words.copy()
     layers = [source_words]
     frontier = source_words
-    # reduceat needs in-range start offsets and yields garbage (the
-    # element at the start offset) for empty slices; clamp the offsets
-    # and zero the empty rows afterwards.
-    starts = _np.minimum(indptr[:-1], max(len(indices) - 1, 0))
+    # reduceat rejects start offsets == len(array) (which trailing
+    # isolated nodes produce) and yields garbage (the element at the
+    # start offset) for empty slices.  Padding the gathered vector with
+    # one zero keeps every raw offset in range without truncating any
+    # slice — clamping offsets instead would shorten the last
+    # non-isolated node's slice — and the empty rows are zeroed after.
+    starts = indptr[:-1]
+    pad = _np.zeros(1, dtype=_np.uint64)
     for _ in range(k):
         if not frontier.any():
             break
         if not len(indices):
             break
-        gathered = frontier[indices]
+        gathered = _np.concatenate((frontier[indices], pad))
         nbr_or = _np.bitwise_or.reduceat(gathered, starts)
         nbr_or[degree_zero] = 0
         frontier = nbr_or & ~reached
@@ -91,7 +99,8 @@ def pvot_indexed_counts(graph, focal_nodes, pmi, far_names, k, bulk_depth, prefi
     CSR snapshot (or numpy is unavailable) — the caller then runs the
     generic set-based loop.  Counts and counters match it exactly.
     """
-    if not isinstance(graph, CSRGraph) or not numpy_available() or _np is None:
+    if (not isinstance(graph, CSRGraph) or not numpy_available()
+            or not _HAS_BITWISE_COUNT):
         return None
 
     index = graph.node_index

@@ -39,6 +39,11 @@ from repro.obs import ObsContext, current_obs
 # global match list to share; every other algorithm adopts ``matches=``.
 _ADOPTS_MATCHES = {"nd-pvot", "nd-diff", "pt-bas", "pt-opt", "pt-rnd"}
 
+# collect_stats keys that describe the census plan rather than count
+# work; every chunk reports the same value, so merging keeps the first
+# instead of summing.
+_PLAN_STATS = {"pivot", "max_v"}
+
 # Worker-process state, installed once per worker by _init_worker.
 _WORKER = {}
 
@@ -65,8 +70,16 @@ def chunk_focal_nodes(focal_nodes, chunks):
 
 
 def _run_chunk_inline(graph, pattern, k, algorithm_fn, chunk, subpattern,
-                      matcher, matches, options):
-    """Run one chunk under a private ObsContext; return (counts, counters)."""
+                      matcher, matches, options, want_stats):
+    """Run one chunk under a private ObsContext.
+
+    Returns ``(counts, counters, elapsed, stats)``; ``stats`` is the
+    chunk's private ``collect_stats`` dict (``None`` unless requested).
+    A mutable dict from the caller cannot be written to directly — it
+    would never cross a process boundary, and successive chunks would
+    overwrite each other — so each chunk fills a fresh one and the
+    parent merges them.
+    """
     import time
 
     ctx = ObsContext()
@@ -75,33 +88,54 @@ def _run_chunk_inline(graph, pattern, k, algorithm_fn, chunk, subpattern,
         kwargs = dict(options)
         if matches is not None:
             kwargs["matches"] = matches
+        stats = None
+        if want_stats:
+            stats = {}
+            kwargs["collect_stats"] = stats
         counts = algorithm_fn(
             graph, pattern, k, focal_nodes=chunk, subpattern=subpattern,
             matcher=matcher, **kwargs
         )
     elapsed = time.perf_counter() - start
     counters = dict(ctx.registry.snapshot()["counters"])
-    return counts, counters, elapsed
+    return counts, counters, elapsed, stats
+
+
+def _merge_stats(target, chunk_stats):
+    """Merge per-chunk ``collect_stats`` dicts into the caller's dict.
+
+    Work counters (numeric values) sum across chunks; plan-describing
+    keys and non-numeric values are identical per chunk, so the first
+    occurrence wins.
+    """
+    for stats in chunk_stats:
+        for key, value in stats.items():
+            if (key in _PLAN_STATS or isinstance(value, bool)
+                    or not isinstance(value, (int, float))):
+                target.setdefault(key, value)
+            else:
+                target[key] = target.get(key, 0) + value
 
 
 def _init_worker(payload):
     """Process-pool initializer: unpack the shared census state once."""
-    (graph, pattern, k, subpattern, matcher, algorithm, matches, options) = (
-        pickle.loads(payload)
-    )
+    (graph, pattern, k, subpattern, matcher, algorithm, matches, options,
+     want_stats) = pickle.loads(payload)
     from repro.census import ALGORITHMS
 
     _WORKER["args"] = (
         graph, pattern, k, ALGORITHMS[algorithm], subpattern, matcher,
-        matches, options,
+        matches, options, want_stats,
     )
 
 
 def _run_chunk_in_worker(chunk):
     """Process-pool task: run one focal chunk against the shared state."""
-    graph, pattern, k, fn, subpattern, matcher, matches, options = _WORKER["args"]
+    (graph, pattern, k, fn, subpattern, matcher, matches, options,
+     want_stats) = _WORKER["args"]
     return _run_chunk_inline(
-        graph, pattern, k, fn, chunk, subpattern, matcher, matches, options
+        graph, pattern, k, fn, chunk, subpattern, matcher, matches, options,
+        want_stats,
     )
 
 
@@ -130,6 +164,11 @@ def parallel_census(graph, pattern, k, focal_nodes=None, subpattern=None,
         runs once in the parent and is shared with every chunk (except
         for ``nd-bas``, which has no global matching pass).
 
+    A ``collect_stats`` dict in ``options`` works as in the serial
+    census: each chunk fills a private dict and the merged totals
+    (numeric stats summed, plan-describing keys like ``pivot`` kept)
+    land in the caller's dict after all chunks finish.
+
     Returns ``{focal_node: count}``, identical to the serial census.
     """
     from repro.census import ALGORITHMS
@@ -140,6 +179,11 @@ def parallel_census(graph, pattern, k, focal_nodes=None, subpattern=None,
             f"{sorted(ALGORITHMS)}"
         )
     fn = ALGORITHMS[algorithm]
+    # A caller-supplied collect_stats dict cannot be shared with the
+    # chunks (it would not survive pickling, and chunks would clobber
+    # each other's keys); each chunk fills its own and they merge back
+    # into the caller's dict at the end.
+    collect_stats = options.pop("collect_stats", None)
     obs = current_obs()
     with obs.span("census.parallel", algorithm=algorithm, k=k) as span:
         request = CensusRequest(graph, pattern, k, focal_nodes, subpattern)
@@ -166,16 +210,19 @@ def parallel_census(graph, pattern, k, focal_nodes=None, subpattern=None,
         results = _execute(
             executor, workers, graph, pattern, k, fn, algorithm, focal_chunks,
             subpattern, matcher, matches, options,
+            collect_stats is not None,
         )
 
         counts = {}
         merged = {}
         chunk_seconds = []
-        for chunk_counts, counters, elapsed in results:
+        for chunk_counts, counters, elapsed, _ in results:
             counts.update(chunk_counts)
             chunk_seconds.append(elapsed)
             for name, value in counters.items():
                 merged[name] = merged.get(name, 0) + value
+        if collect_stats is not None:
+            _merge_stats(collect_stats, [stats for _, _, _, stats in results])
         if obs.enabled:
             for name in sorted(merged):
                 obs.add(name, merged[name])
@@ -189,12 +236,13 @@ def parallel_census(graph, pattern, k, focal_nodes=None, subpattern=None,
 
 
 def _execute(executor, workers, graph, pattern, k, fn, algorithm, focal_chunks,
-             subpattern, matcher, matches, options):
+             subpattern, matcher, matches, options, want_stats):
     """Run the chunks on the requested executor, in chunk order."""
     if executor == "serial":
         return [
             _run_chunk_inline(
-                graph, pattern, k, fn, chunk, subpattern, matcher, matches, options
+                graph, pattern, k, fn, chunk, subpattern, matcher, matches,
+                options, want_stats,
             )
             for chunk in focal_chunks
         ]
@@ -203,14 +251,15 @@ def _execute(executor, workers, graph, pattern, k, fn, algorithm, focal_chunks,
             futures = [
                 pool.submit(
                     _run_chunk_inline, graph, pattern, k, fn, chunk,
-                    subpattern, matcher, matches, options,
+                    subpattern, matcher, matches, options, want_stats,
                 )
                 for chunk in focal_chunks
             ]
             return [f.result() for f in futures]
     if executor == "process":
         payload = pickle.dumps(
-            (graph, pattern, k, subpattern, matcher, algorithm, matches, options)
+            (graph, pattern, k, subpattern, matcher, algorithm, matches,
+             options, want_stats)
         )
         try:
             with ProcessPoolExecutor(
@@ -226,6 +275,7 @@ def _execute(executor, workers, graph, pattern, k, fn, algorithm, focal_chunks,
             return _execute(
                 "thread", workers, graph, pattern, k, fn, algorithm,
                 focal_chunks, subpattern, matcher, matches, options,
+                want_stats,
             )
     raise CensusError(
         f"unknown executor {executor!r}; expected 'process', 'thread', or 'serial'"

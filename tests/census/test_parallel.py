@@ -164,6 +164,36 @@ class TestObservability:
         hist = obs.registry.histograms()["census.parallel.chunk_seconds"]
         assert hist.count == 3
 
+    @pytest.mark.parametrize("executor", ("serial", "thread"))
+    def test_collect_stats_merged_across_chunks(self, executor):
+        # Regression: the caller's collect_stats dict used to come back
+        # empty (process mode) or holding only the last chunk's numbers
+        # (thread/serial); chunks now fill private dicts that merge.
+        g = preferential_attachment(40, m=2, seed=9)
+        pattern = triangle()
+        serial_stats = {}
+        want = ALGORITHMS["nd-pvot"](g, pattern, 2, collect_stats=serial_stats)
+        stats = {}
+        got = parallel_census(
+            g, pattern, 2, algorithm="nd-pvot", workers=4, executor=executor,
+            collect_stats=stats,
+        )
+        assert got == want
+        for key in ("bulk_added", "explicitly_checked", "bfs_visited"):
+            assert stats[key] == serial_stats[key], key
+        assert stats["pivot"] == serial_stats["pivot"]
+        assert stats["max_v"] == serial_stats["max_v"]
+
+    def test_collect_stats_through_process_pool(self):
+        csr = freeze(preferential_attachment(30, m=2, seed=6))
+        pattern = triangle()
+        stats = {}
+        parallel_census(
+            csr, pattern, 2, algorithm="nd-pvot", workers=2,
+            executor="process", collect_stats=stats,
+        )
+        assert stats["bfs_visited"] > 0
+
     def test_merge_is_deterministic(self):
         g = labeled_preferential_attachment(35, m=2, seed=4)
         pattern = triangle(labels=("A", "B", "C"))

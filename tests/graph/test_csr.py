@@ -236,6 +236,26 @@ class TestDifferentialCensus:
             fn = ALGORITHMS[algorithm]
             assert fn(csr, triangle(), 2) == fn(g, triangle(), 2)
 
+    @pytest.mark.parametrize("isolated", (1, 3))
+    def test_trailing_isolated_nodes(self, isolated):
+        # Regression: clamping the reduceat start offsets made a
+        # trailing isolated node (start offset == len(indices)) truncate
+        # the previous node's adjacency slice, so the bit-parallel BFS
+        # missed its last neighbor and undercounted the census.
+        g = Graph()
+        for i in range(3 + isolated):
+            g.add_node(i)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(0, 2)
+        csr = freeze(g)
+        for algorithm in CENSUS_SERIES:
+            fn = ALGORITHMS[algorithm]
+            counts = fn(csr, triangle(), 1)
+            assert counts == fn(g, triangle(), 1), algorithm
+            assert counts[0] == counts[1] == counts[2] == 1
+            assert all(counts[3 + i] == 0 for i in range(isolated))
+
 
 class TestNumpyFallback:
     @pytest.fixture
@@ -259,3 +279,15 @@ class TestNumpyFallback:
         csr = CSRGraph(preferential_attachment(8, m=2, seed=0))
         with pytest.raises(GraphError):
             csr.frontier_arrays(0)
+
+    def test_numpy1_without_bitwise_count_falls_back(self, monkeypatch):
+        # numpy < 2.0 has no np.bitwise_count; the bit-parallel path
+        # must decline instead of raising AttributeError mid-census.
+        from repro.census.indexed import pvot_indexed_counts
+
+        monkeypatch.setattr(repro.census.indexed, "_HAS_BITWISE_COUNT", False)
+        g = labeled_preferential_attachment(18, m=2, seed=11)
+        csr = freeze(g)
+        assert pvot_indexed_counts(csr, [], None, [], 2, 0, {}) is None
+        fn = ALGORITHMS["nd-pvot"]
+        assert fn(csr, triangle(), 2) == fn(g, triangle(), 2)

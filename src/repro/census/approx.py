@@ -16,6 +16,7 @@ import math
 import random
 
 from repro.census.base import CensusRequest, prepare_matches
+from repro.exec.budget import current_budget
 from repro.graph.traversal import k_hop_distances
 
 
@@ -42,12 +43,15 @@ def approximate_census(graph, pattern, k, sample_size, focal_nodes=None,
     sample = rng.sample(units, s) if s < total else units
     scale = total / s
 
+    budget = current_budget()
     hits = {n: 0 for n in focal}
     focal_set = set(focal)
     for unit in sample:
         coverage = None
         for m in unit.nodes:
             reach = set(k_hop_distances(graph, m, k))
+            if budget is not None:
+                budget.tick(len(reach))
             coverage = reach if coverage is None else coverage & reach
             if not coverage:
                 break

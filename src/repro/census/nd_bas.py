@@ -14,6 +14,8 @@ back to one global matching pass plus explicit containment checks.
 """
 
 from repro.census.base import CensusRequest, prepare_matches
+from repro.exec.budget import current_budget
+from repro.exec.faults import fault_point
 from repro.graph.traversal import ego_subgraph, k_hop_nodes
 from repro.matching import find_matches
 from repro.obs import current_obs
@@ -26,10 +28,14 @@ def nd_bas_census(graph, pattern, k, focal_nodes=None, subpattern=None, matcher=
         request = CensusRequest(graph, pattern, k, focal_nodes, subpattern)
         counts = request.zero_counts()
 
+        budget = current_budget()
         if subpattern is not None:
             units = prepare_matches(request, matcher=matcher)
             for n in request.focal_nodes:
+                fault_point("census.bfs")
                 region = k_hop_nodes(graph, n, k)
+                if budget is not None:
+                    budget.tick(len(region) + len(units))
                 counts[n] = sum(1 for unit in units if unit.nodes <= region)
             obs.add("census.nd_bas.containment_checks",
                     len(units) * len(request.focal_nodes))
@@ -37,8 +43,11 @@ def nd_bas_census(graph, pattern, k, focal_nodes=None, subpattern=None, matcher=
 
         extracted_nodes = 0
         for n in request.focal_nodes:
+            fault_point("census.bfs")
             sub = ego_subgraph(graph, n, k)
             extracted_nodes += sub.num_nodes
+            if budget is not None:
+                budget.tick(sub.num_nodes)
             counts[n] = len(find_matches(sub, pattern, method=matcher, distinct=True))
         if obs.enabled:
             obs.add("census.nd_bas.subgraphs_extracted", len(request.focal_nodes))

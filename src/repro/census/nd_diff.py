@@ -25,6 +25,8 @@ Orders (the paper's §IV-A.2 discussion):
 
 from repro.census.base import CensusRequest, prepare_matches
 from repro.census.pmi import PatternMatchIndex
+from repro.exec.budget import current_budget
+from repro.exec.faults import fault_point
 from repro.graph.traversal import k_hop_nodes
 from repro.obs import current_obs
 
@@ -78,7 +80,11 @@ def nd_diff_census(graph, pattern, k, focal_nodes=None, subpattern=None, matcher
 
 
 def _compute_from_scratch(graph, k, pmi, node):
+    fault_point("census.bfs")
     hood = k_hop_nodes(graph, node, k)
+    budget = current_budget()
+    if budget is not None:
+        budget.tick(len(hood))
     ids = {
         unit.index
         for n in hood
@@ -89,7 +95,11 @@ def _compute_from_scratch(graph, k, pmi, node):
 
 
 def _differential_step(graph, k, pmi, current, prev_hood, prev_ids):
+    fault_point("census.bfs")
     hood = k_hop_nodes(graph, current, k)
+    budget = current_budget()
+    if budget is not None:
+        budget.tick(len(hood))
     entering = hood - prev_hood
     leaving = prev_hood - hood
     ids = set(prev_ids)

@@ -16,6 +16,8 @@ checks are then short-circuited with distance arithmetic:
 from repro.census.base import CensusRequest, containment_distances, prepare_matches
 from repro.census.indexed import pvot_indexed_counts
 from repro.census.pmi import PatternMatchIndex
+from repro.exec.budget import current_budget
+from repro.exec.faults import fault_point
 from repro.graph.traversal import bfs_layer_sets
 from repro.obs import current_obs
 
@@ -69,9 +71,16 @@ def nd_pvot_census(graph, pattern, k, focal_nodes=None, subpattern=None, matcher
             for d in range(max(bulk_depth + 1, 0), k + 1)
         }
 
-        indexed = pvot_indexed_counts(
-            graph, request.focal_nodes, pmi, far_names, k, bulk_depth, prefix_at
-        )
+        # The vectorized kernel processes every focal node in one shot
+        # with no cooperative checkpoints; under an active budget the
+        # per-node loop below runs instead so deadlines are honored at
+        # focal/BFS-layer granularity.
+        budget = current_budget()
+        indexed = None
+        if budget is None:
+            indexed = pvot_indexed_counts(
+                graph, request.focal_nodes, pmi, far_names, k, bulk_depth, prefix_at
+            )
         if indexed is not None:
             counts.update(indexed.counts)
             bulk, checked, visited = indexed.bulk, indexed.checked, indexed.visited
@@ -92,10 +101,13 @@ def nd_pvot_census(graph, pattern, k, focal_nodes=None, subpattern=None, matcher
 
             bulk = checked = visited = 0
             for n in request.focal_nodes:
+                fault_point("census.bfs")
                 total = 0
                 hood = set()
                 deferred = []
                 for d, layer in enumerate(bfs_layer_sets(graph, n, max_depth=k)):
+                    if budget is not None:
+                        budget.tick(len(layer))
                     visited += len(layer)
                     hood |= layer
                     hits = layer & anchors
@@ -114,6 +126,8 @@ def nd_pvot_census(graph, pattern, k, focal_nodes=None, subpattern=None, matcher
                 for d, image_tuples in deferred:
                     m = prefix_at[d]
                     checked += len(image_tuples)
+                    if budget is not None:
+                        budget.tick(len(image_tuples))
                     if m == n_far:
                         for images in image_tuples:
                             for image in images:

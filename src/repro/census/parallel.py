@@ -24,14 +24,33 @@ The matching pass is *not* parallelized: matches are found once in the
 parent (for every algorithm that supports ``matches=`` adoption) and
 shared with all chunks, so adding workers scales the per-focal-node
 counting phase — the part the paper's algorithms differ on.
+
+Resource governance and fault tolerance:
+
+- an ambient :class:`repro.exec.budget.ExecutionBudget` in the parent is
+  shipped to thread and process chunks as a :meth:`spec` (serial chunks
+  see the parent's live budget directly), so a deadline governs every
+  executor mode;
+- an armed :class:`repro.exec.faults.FaultPlan` travels to process
+  workers (hit counters reset per process) and workers are tagged via
+  :func:`repro.exec.faults.mark_worker_process`;
+- a chunk lost to a dead worker (``BrokenProcessPool``) is retried
+  *serially in the parent* — worker-scoped faults do not fire there —
+  so counts converge to the serial result even when every worker dies;
+- the process pool is always shut down (``cancel_futures=True``), even
+  when a chunk raises, so no worker processes leak.
 """
 
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
 
 from repro.census.base import CensusRequest
 from repro.errors import CensusError
+from repro.exec.budget import ExecutionBudget, activate_budget, current_budget
+from repro.exec.faults import active_plan, arm_process, fault_point, mark_worker_process
 from repro.matching import find_matches
 from repro.obs import ObsContext, current_obs
 
@@ -70,7 +89,8 @@ def chunk_focal_nodes(focal_nodes, chunks):
 
 
 def _run_chunk_inline(graph, pattern, k, algorithm_fn, chunk, subpattern,
-                      matcher, matches, options, want_stats):
+                      matcher, matches, options, want_stats,
+                      budget_spec=None):
     """Run one chunk under a private ObsContext.
 
     Returns ``(counts, counters, elapsed, stats)``; ``stats`` is the
@@ -79,12 +99,23 @@ def _run_chunk_inline(graph, pattern, k, algorithm_fn, chunk, subpattern,
     would never cross a process boundary, and successive chunks would
     overwrite each other — so each chunk fills a fresh one and the
     parent merges them.
+
+    ``budget_spec`` rebuilds and activates a fresh budget around the
+    chunk (thread and process chunks do not see the parent's ambient
+    contextvar); ``None`` leaves the ambient budget — the parent's own,
+    for serial chunks — in force.
     """
     import time
 
+    fault_point("parallel.chunk")
+    governed = (
+        activate_budget(ExecutionBudget.from_spec(budget_spec))
+        if budget_spec is not None
+        else nullcontext()
+    )
     ctx = ObsContext()
     start = time.perf_counter()
-    with ctx:
+    with governed, ctx:
         kwargs = dict(options)
         if matches is not None:
             kwargs["matches"] = matches
@@ -118,15 +149,24 @@ def _merge_stats(target, chunk_stats):
 
 
 def _init_worker(payload):
-    """Process-pool initializer: unpack the shared census state once."""
+    """Process-pool initializer: unpack the shared census state once.
+
+    Also tags the process as a pool worker (worker-scoped faults fire
+    here and nowhere else) and re-arms the parent's fault plan with
+    fresh per-process hit counters.
+    """
     (graph, pattern, k, subpattern, matcher, algorithm, matches, options,
-     want_stats) = pickle.loads(payload)
+     want_stats, budget_spec, fault_plan) = pickle.loads(payload)
     from repro.census import ALGORITHMS
 
+    mark_worker_process()
+    if fault_plan is not None:
+        arm_process(fault_plan)
     _WORKER["args"] = (
         graph, pattern, k, ALGORITHMS[algorithm], subpattern, matcher,
         matches, options, want_stats,
     )
+    _WORKER["budget_spec"] = budget_spec
 
 
 def _run_chunk_in_worker(chunk):
@@ -135,7 +175,7 @@ def _run_chunk_in_worker(chunk):
      want_stats) = _WORKER["args"]
     return _run_chunk_inline(
         graph, pattern, k, fn, chunk, subpattern, matcher, matches, options,
-        want_stats,
+        want_stats, budget_spec=_WORKER["budget_spec"],
     )
 
 
@@ -246,12 +286,17 @@ def _execute(executor, workers, graph, pattern, k, fn, algorithm, focal_chunks,
             )
             for chunk in focal_chunks
         ]
+    # Thread and process chunks run outside the parent's contextvar
+    # context; ship the remaining allowance instead.
+    budget = current_budget()
+    budget_spec = budget.spec() if budget is not None else None
     if executor == "thread":
         with ThreadPoolExecutor(max_workers=workers) as pool:
             futures = [
                 pool.submit(
                     _run_chunk_inline, graph, pattern, k, fn, chunk,
                     subpattern, matcher, matches, options, want_stats,
+                    budget_spec,
                 )
                 for chunk in focal_chunks
             ]
@@ -259,24 +304,57 @@ def _execute(executor, workers, graph, pattern, k, fn, algorithm, focal_chunks,
     if executor == "process":
         payload = pickle.dumps(
             (graph, pattern, k, subpattern, matcher, algorithm, matches,
-             options, want_stats)
+             options, want_stats, budget_spec, active_plan())
         )
+        pool = None
         try:
-            with ProcessPoolExecutor(
-                max_workers=workers, initializer=_init_worker, initargs=(payload,)
-            ) as pool:
+            try:
+                pool = ProcessPoolExecutor(
+                    max_workers=workers, initializer=_init_worker,
+                    initargs=(payload,),
+                )
                 futures = [
                     pool.submit(_run_chunk_in_worker, chunk)
                     for chunk in focal_chunks
                 ]
-                return [f.result() for f in futures]
-        except (OSError, PermissionError):
-            # Sandboxes without fork/spawn: degrade to threads.
-            return _execute(
-                "thread", workers, graph, pattern, k, fn, algorithm,
-                focal_chunks, subpattern, matcher, matches, options,
-                want_stats,
-            )
+            except (OSError, PermissionError):
+                # Sandboxes without fork/spawn: degrade to threads.
+                return _execute(
+                    "thread", workers, graph, pattern, k, fn, algorithm,
+                    focal_chunks, subpattern, matcher, matches, options,
+                    want_stats,
+                )
+            results = []
+            crashed = []
+            for index, future in enumerate(futures):
+                try:
+                    results.append(future.result())
+                except BrokenProcessPool:
+                    # The worker died mid-chunk (or the pool broke while
+                    # this chunk was still queued).  Mark it for a serial
+                    # retry in the parent below.
+                    results.append(None)
+                    crashed.append(index)
+            if crashed:
+                obs = current_obs()
+                if obs.enabled:
+                    obs.add("census.parallel.worker_crashes", 1)
+                    obs.add("census.parallel.chunk_retries", len(crashed))
+                for index in crashed:
+                    # Worker-scoped faults do not fire in the parent, so
+                    # a plan that kills every worker still converges to
+                    # the serial counts.
+                    results[index] = _run_chunk_inline(
+                        graph, pattern, k, fn, focal_chunks[index],
+                        subpattern, matcher, matches, options, want_stats,
+                    )
+            return results
+        finally:
+            if pool is not None:
+                # Unconditional: a chunk raising (BudgetExceeded, an
+                # injected exception, ...) must not leak worker
+                # processes or leave queued chunks running.
+                pool.shutdown(wait=False, cancel_futures=True)
     raise CensusError(
         f"unknown executor {executor!r}; expected 'process', 'thread', or 'serial'"
     )

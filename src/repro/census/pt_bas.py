@@ -8,6 +8,8 @@ simultaneous traversal removes.
 """
 
 from repro.census.base import CensusRequest, prepare_matches
+from repro.exec.budget import current_budget
+from repro.exec.faults import fault_point
 from repro.graph.traversal import bfs_layer_sets
 from repro.obs import current_obs
 
@@ -37,13 +39,17 @@ def pt_bas_census(graph, pattern, k, focal_nodes=None, subpattern=None, matcher=
         # Counting edge visits walks every BFS frontier a second time, so
         # it stays opt-in: explicit collect_stats or an active obs context.
         want_stats = collect_stats is not None or obs.enabled
+        budget = current_budget()
         edge_visits = 0
         focal = set(request.focal_nodes)
         for unit in units:
+            fault_point("census.bfs")
             hoods = []
             for m in unit.nodes:
                 hood = set()
                 for d, layer in enumerate(bfs_layer_sets(graph, m, k)):
+                    if budget is not None:
+                        budget.tick(len(layer))
                     hood |= layer
                     if want_stats and d < k:
                         edge_visits += sum(graph.degree(x) for x in layer)

@@ -31,6 +31,8 @@ from repro.census.base import CensusRequest, prepare_matches
 from repro.census.bucket_queue import BucketQueue, FIFOQueue, RandomQueue
 from repro.census.centers import CenterIndex, select_centers
 from repro.census.clustering import cluster_matches
+from repro.exec.budget import current_budget
+from repro.exec.faults import fault_point
 from repro.obs import current_obs
 
 
@@ -181,6 +183,8 @@ def _make_queue(order, max_score, seed):
 def _process_cluster(graph, cluster_units, k, focal, counts, pattern_dists,
                      centers, opts, stats):
     """One simultaneous traversal around all matches of a cluster."""
+    fault_point("census.bfs")
+    budget = current_budget()
     inf = k + 1
     sources = sorted({m for unit in cluster_units for m in unit.nodes}, key=repr)
     src_pos = {m: i for i, m in enumerate(sources)}
@@ -254,6 +258,8 @@ def _process_cluster(graph, cluster_units, k, focal, counts, pattern_dists,
     while queue:
         node, _score = queue.pop()
         stats["pops"] += 1
+        if budget is not None:
+            budget.tick()
         vec = pmd[node]
         if min(vec) >= k:
             # 'far' for every source: relaxing neighbors could only

@@ -18,6 +18,7 @@ Examples::
 import argparse
 import sys
 
+from repro.errors import BudgetExceeded
 from repro.graph.generators import (
     erdos_renyi,
     labeled_preferential_attachment,
@@ -119,15 +120,27 @@ def _cmd_query(args, out):
         obs=obs,
         backend=args.backend,
         workers=args.workers,
+        timeout=args.timeout,
+        max_ops=args.budget,
+        max_results=args.max_results,
+        degrade=args.degrade,
     )
     if args.execute:
         script = args.execute
     else:
         with open(args.script) as f:
             script = f.read()
-    for table in engine.execute_script(script):
-        print(table.render(max_rows=args.max_rows), file=out)
-        print(file=out)
+    try:
+        for table in engine.execute_script(script):
+            print(table.render(max_rows=args.max_rows), file=out)
+            print(file=out)
+    except BudgetExceeded as exc:
+        hint = (" (even the sampling fallback exceeded its grace budget)"
+                if args.degrade
+                else " (rerun with --degrade for a partial estimate)")
+        print(f"error: {exc}{hint}", file=out)
+        _emit_obs(obs, args, out)
+        return 2
     _emit_obs(obs, args, out)
     return 0
 
@@ -218,6 +231,16 @@ def build_parser():
     query.add_argument("--workers", type=int, default=1,
                        help="parallel census workers (0 = CPU count); "
                             "focal nodes are chunked over a process pool")
+    query.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                       help="wall-clock deadline per statement; exceeding it "
+                            "raises BudgetExceeded (or degrades with --degrade)")
+    query.add_argument("--budget", type=int, default=None, metavar="OPS",
+                       help="cooperative work-operation cap per statement")
+    query.add_argument("--max-results", type=int, default=None, metavar="N",
+                       help="cap on matches/rows materialized per statement")
+    query.add_argument("--degrade", action="store_true",
+                       help="on budget exhaustion fall back to the sampling "
+                            "estimator and mark results partial")
     query.add_argument("--cache", action="store_true",
                        help="cache aggregate results across statements")
     query.add_argument("--seed", type=int, default=0)

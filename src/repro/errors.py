@@ -62,3 +62,40 @@ class QueryError(ReproError):
 
 class CensusError(ReproError):
     """A census algorithm was invoked with unusable arguments."""
+
+
+class ExecutionError(ReproError):
+    """Base class for resource-governance failures (:mod:`repro.exec`)."""
+
+
+class BudgetExceeded(ExecutionError):
+    """An :class:`repro.exec.ExecutionBudget` limit was hit.
+
+    ``reason`` is ``'deadline'``, ``'work'``, or ``'results'``; ``spent``
+    and ``limit`` quantify the exhausted dimension (seconds for
+    deadlines, operation/result counts otherwise).  Kept picklable so the
+    error crosses process-pool boundaries intact.
+    """
+
+    def __init__(self, reason, spent, limit):
+        if reason == "deadline":
+            detail = f"deadline of {limit:.3f}s exceeded after {spent:.3f}s"
+        elif reason == "work":
+            detail = f"work budget of {limit} operations exhausted ({spent} spent)"
+        else:
+            detail = f"result-size cap of {limit} exceeded ({spent} produced)"
+        super().__init__(detail)
+        self.reason = reason
+        self.spent = spent
+        self.limit = limit
+
+    def __reduce__(self):
+        return (type(self), (self.reason, self.spent, self.limit))
+
+
+class Cancelled(ExecutionError):
+    """The run was cancelled from outside (``ExecutionBudget.cancel()``)."""
+
+
+class WorkerCrashed(ExecutionError):
+    """A parallel worker process died and the work could not be recovered."""

@@ -1,0 +1,57 @@
+"""Resource-governed execution: budgets, degradation, fault injection.
+
+The production-hardening layer around the census algorithms.  Three
+pieces:
+
+- :mod:`repro.exec.budget` — :class:`ExecutionBudget`, an ambient
+  wall-clock / work / result-size allowance checked cooperatively at
+  algorithm loop boundaries (errors in :mod:`repro.errors`:
+  :class:`~repro.errors.BudgetExceeded`,
+  :class:`~repro.errors.Cancelled`,
+  :class:`~repro.errors.WorkerCrashed`);
+- :mod:`repro.exec.governor` — :func:`governed_census`, the
+  catch-and-degrade policy that falls back from exact counting to the
+  sampling estimator and marks results partial;
+- :mod:`repro.exec.faults` — deterministic fault injection (delays,
+  exceptions, worker deaths) at named sites, so the retry and timeout
+  paths are testable instead of theoretical.
+"""
+
+from repro.errors import BudgetExceeded, Cancelled, ExecutionError, WorkerCrashed
+from repro.exec.budget import ExecutionBudget, activate_budget, current_budget
+from repro.exec.faults import (
+    SITES,
+    Fault,
+    FaultPlan,
+    active_plan,
+    fault_point,
+    install_faults,
+    mark_worker_process,
+)
+from repro.exec.governor import (
+    DEFAULT_DEGRADE_GRACE,
+    DEFAULT_DEGRADE_SAMPLE,
+    CensusOutcome,
+    governed_census,
+)
+
+__all__ = [
+    "ExecutionBudget",
+    "activate_budget",
+    "current_budget",
+    "ExecutionError",
+    "BudgetExceeded",
+    "Cancelled",
+    "WorkerCrashed",
+    "CensusOutcome",
+    "governed_census",
+    "DEFAULT_DEGRADE_SAMPLE",
+    "DEFAULT_DEGRADE_GRACE",
+    "Fault",
+    "FaultPlan",
+    "SITES",
+    "fault_point",
+    "install_faults",
+    "active_plan",
+    "mark_worker_process",
+]

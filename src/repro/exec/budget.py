@@ -1,0 +1,204 @@
+"""Execution budgets: cooperative resource governance for census runs.
+
+An :class:`ExecutionBudget` bounds one census/matching run along three
+independent axes:
+
+- **wall-clock deadline** (``timeout`` seconds from activation),
+- **work budget** (``max_ops`` cooperative "operations" — candidate
+  scans, binding attempts, BFS layer expansions, queue pops), and
+- **result-size cap** (``max_results`` matches/rows materialized).
+
+Enforcement is *cooperative*: the algorithm hot loops call
+:meth:`ExecutionBudget.tick` (work + deadline) and
+:meth:`ExecutionBudget.count_result` at their loop boundaries, and the
+budget raises :class:`repro.errors.BudgetExceeded` (or
+:class:`repro.errors.Cancelled` after :meth:`ExecutionBudget.cancel`)
+the moment a limit is crossed.  Loop boundaries are chosen so that the
+interval between consecutive checks is small relative to any realistic
+deadline — one focal node, one BFS layer, one candidate binding — which
+is what bounds termination latency to a small multiple of the deadline.
+
+The ambient-budget protocol mirrors :mod:`repro.obs`: instrumented code
+asks :func:`current_budget` for the active budget (``None`` when
+ungoverned — the common case costs one contextvar read per *call*, and
+the hot loops guard every tick with a plain ``is not None`` test)::
+
+    budget = ExecutionBudget(timeout=0.050, max_ops=1_000_000)
+    with budget:
+        census(graph, pattern, k)      # raises BudgetExceeded at 50 ms
+
+Budgets do not cross process boundaries (deadlines are absolute
+``perf_counter`` values and the cancel flag is a ``threading.Event``);
+:meth:`ExecutionBudget.spec` captures the *remaining* allowance as a
+picklable dict and :meth:`ExecutionBudget.from_spec` rebuilds a fresh
+budget from it on the far side — :mod:`repro.census.parallel` ships one
+spec per chunk, so every worker enforces the same deadline while work
+and result budgets apply per worker.
+"""
+
+import threading
+import time
+from contextvars import ContextVar
+
+from repro.errors import BudgetExceeded, Cancelled
+
+_CURRENT_BUDGET = ContextVar("repro_exec_budget", default=None)
+
+
+def current_budget():
+    """The ambient :class:`ExecutionBudget`, or ``None`` when ungoverned."""
+    return _CURRENT_BUDGET.get()
+
+
+class activate_budget:
+    """Context manager making ``budget`` the ambient execution budget.
+
+    ``activate_budget(None)`` suspends governance for the scope — the
+    degradation fallback uses this to run its (cheap) approximate pass
+    after the primary budget is already exhausted.
+    """
+
+    __slots__ = ("_budget", "_token")
+
+    def __init__(self, budget):
+        self._budget = budget
+        self._token = None
+
+    def __enter__(self):
+        self._token = _CURRENT_BUDGET.set(self._budget)
+        return self._budget
+
+    def __exit__(self, *exc):
+        _CURRENT_BUDGET.reset(self._token)
+        return False
+
+
+class ExecutionBudget:
+    """A single-use allowance of wall-clock time, work, and result size.
+
+    The deadline clock starts at construction.  All three limits are
+    optional; an all-``None`` budget never raises but still counts work
+    (useful for measuring a run's cost in budget units).
+    """
+
+    __slots__ = ("timeout", "max_ops", "max_results", "started", "deadline",
+                 "ops", "results", "_cancel", "_activation")
+
+    def __init__(self, timeout=None, max_ops=None, max_results=None):
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if max_ops is not None and max_ops <= 0:
+            raise ValueError(f"max_ops must be positive, got {max_ops}")
+        if max_results is not None and max_results <= 0:
+            raise ValueError(f"max_results must be positive, got {max_results}")
+        self.timeout = timeout
+        self.max_ops = max_ops
+        self.max_results = max_results
+        self.started = time.perf_counter()
+        self.deadline = self.started + timeout if timeout is not None else None
+        self.ops = 0
+        self.results = 0
+        self._cancel = threading.Event()
+        self._activation = None
+
+    # -- enforcement ----------------------------------------------------
+    def tick(self, n=1):
+        """Spend ``n`` work operations; raise when any limit is crossed."""
+        self.ops += n
+        if self._cancel.is_set():
+            raise Cancelled("execution cancelled")
+        if self.max_ops is not None and self.ops > self.max_ops:
+            raise BudgetExceeded("work", self.ops, self.max_ops)
+        if self.deadline is not None:
+            now = time.perf_counter()
+            if now > self.deadline:
+                raise BudgetExceeded("deadline", now - self.started, self.timeout)
+
+    def count_result(self, n=1):
+        """Account ``n`` materialized results against the result cap."""
+        self.results += n
+        if self.max_results is not None and self.results > self.max_results:
+            raise BudgetExceeded("results", self.results, self.max_results)
+
+    def check(self):
+        """A zero-cost-work checkpoint (deadline + cancellation only)."""
+        self.tick(0)
+
+    # -- cancellation ---------------------------------------------------
+    def cancel(self):
+        """Flag the run for cancellation; the next tick raises
+        :class:`repro.errors.Cancelled`.  Thread-safe; does not cross
+        process boundaries."""
+        self._cancel.set()
+
+    @property
+    def cancelled(self):
+        return self._cancel.is_set()
+
+    # -- introspection --------------------------------------------------
+    def elapsed(self):
+        return time.perf_counter() - self.started
+
+    def remaining_time(self):
+        """Seconds until the deadline (``None`` when unbounded)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.perf_counter()
+
+    def remaining_ops(self):
+        if self.max_ops is None:
+            return None
+        return max(0, self.max_ops - self.ops)
+
+    # -- process-boundary transfer --------------------------------------
+    def spec(self):
+        """The *remaining* allowance as a picklable dict.
+
+        A worker rebuilds an equivalent budget with :meth:`from_spec`;
+        the deadline carries over as remaining seconds (every chunk of a
+        run shares one deadline), while work and result allowances are
+        granted per worker — a deliberate approximation that keeps chunks
+        independent.  An already-exhausted deadline is clamped to a
+        microsecond so the worker fails on its first tick instead of
+        failing to construct the budget.
+        """
+        remaining = self.remaining_time()
+        if remaining is not None:
+            remaining = max(remaining, 1e-6)
+        remaining_ops = self.remaining_ops()
+        if remaining_ops == 0:
+            # The constructor rejects non-positive limits; a one-op
+            # allowance makes the worker fail on its first real tick.
+            remaining_ops = 1
+        return {
+            "timeout": remaining,
+            "max_ops": remaining_ops,
+            "max_results": self.max_results,
+        }
+
+    @classmethod
+    def from_spec(cls, spec):
+        """Rebuild a budget from :meth:`spec` output (``None`` -> ``None``)."""
+        if spec is None:
+            return None
+        return cls(**spec)
+
+    # -- activation -----------------------------------------------------
+    def __enter__(self):
+        self._activation = activate_budget(self)
+        self._activation.__enter__()
+        return self
+
+    def __exit__(self, *exc):
+        activation, self._activation = self._activation, None
+        return activation.__exit__(*exc)
+
+    def __repr__(self):
+        parts = []
+        if self.timeout is not None:
+            parts.append(f"timeout={self.timeout}s")
+        if self.max_ops is not None:
+            parts.append(f"ops={self.ops}/{self.max_ops}")
+        if self.max_results is not None:
+            parts.append(f"results={self.results}/{self.max_results}")
+        return f"<ExecutionBudget {' '.join(parts) or 'unlimited'}>"

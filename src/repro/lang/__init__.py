@@ -27,6 +27,12 @@ from repro.lang.ast import (
 from repro.lang.catalog import PatternCatalog, standard_patterns
 from repro.lang.lexer import Token, tokenize
 from repro.lang.parser import parse_pattern, parse_query, parse_script
+from repro.lang.unparse import (
+    unparse_expression,
+    unparse_query,
+    unparse_script,
+    unparse_statement,
+)
 
 __all__ = [
     "tokenize",
@@ -34,6 +40,10 @@ __all__ = [
     "parse_pattern",
     "parse_query",
     "parse_script",
+    "unparse_expression",
+    "unparse_query",
+    "unparse_script",
+    "unparse_statement",
     "SelectQuery",
     "TableRef",
     "ColumnRef",

@@ -113,6 +113,15 @@ class Aggregate:
             f"{self.neighborhood!r}))"
         )
 
+    def __eq__(self, other):
+        return (
+            isinstance(other, Aggregate)
+            and self.pattern_name == other.pattern_name
+            and self.subpattern_name == other.subpattern_name
+            and self.neighborhood == other.neighborhood
+            and self.output_name == other.output_name
+        )
+
 
 class OrderItem:
     """One ORDER BY key: a column name or aggregate output name."""
@@ -126,6 +135,13 @@ class OrderItem:
     def __repr__(self):
         direction = "ASC" if self.ascending else "DESC"
         return f"OrderItem({self.key} {direction})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, OrderItem)
+            and self.key.lower() == other.key.lower()
+            and self.ascending == other.ascending
+        )
 
 
 class ExplainStatement:
@@ -145,6 +161,13 @@ class ExplainStatement:
         if self.analyze:
             return f"ExplainAnalyze({self.query!r})"
         return f"Explain({self.query!r})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, ExplainStatement)
+            and self.analyze == other.analyze
+            and self.query == other.query
+        )
 
 
 class SelectQuery:
@@ -177,4 +200,14 @@ class SelectQuery:
         return (
             f"SelectQuery(columns={self.columns!r}, tables={self.tables!r}, "
             f"where={self.where!r}, order_by={self.order_by!r}, limit={self.limit})"
+        )
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, SelectQuery)
+            and self.columns == other.columns
+            and self.tables == other.tables
+            and self.where == other.where
+            and self.order_by == other.order_by
+            and self.limit == other.limit
         )

@@ -72,6 +72,13 @@ class Literal:
     def __repr__(self):
         return f"Literal({self.value!r})"
 
+    def __eq__(self, other):
+        return (
+            isinstance(other, Literal)
+            and type(self.value) is type(other.value)
+            and self.value == other.value
+        )
+
 
 class Column:
     """A column reference used inside an expression."""
@@ -87,6 +94,9 @@ class Column:
     def __repr__(self):
         return f"Column({self.ref.display_name()})"
 
+    def __eq__(self, other):
+        return isinstance(other, Column) and self.ref == other.ref
+
 
 class Rnd:
     """``RND()`` — a uniform draw in [0, 1) from the engine's RNG."""
@@ -98,6 +108,9 @@ class Rnd:
 
     def __repr__(self):
         return "Rnd()"
+
+    def __eq__(self, other):
+        return isinstance(other, Rnd)
 
 
 class Unary:
@@ -117,6 +130,13 @@ class Unary:
 
     def __repr__(self):
         return f"Unary({self.op}, {self.operand!r})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Unary)
+            and self.op == other.op
+            and self.operand == other.operand
+        )
 
 
 class Binary:
@@ -151,6 +171,14 @@ class Binary:
 
     def __repr__(self):
         return f"Binary({self.op}, {self.left!r}, {self.right!r})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Binary)
+            and self.op == other.op
+            and self.left == other.left
+            and self.right == other.right
+        )
 
 
 def evaluate_where(expr, graph, bindings, rng):

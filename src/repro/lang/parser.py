@@ -37,11 +37,17 @@ from repro.matching.predicates import Comparison, Const, EdgeAttr
 
 _CMP_OPS = {"=", "==", "!=", "<>", "<", "<=", ">", ">="}
 
+# Recursive descent consumes a Python stack frame per nesting level; a
+# pathological input like 4000 nested parentheses would otherwise
+# surface as RecursionError instead of a ParseError.
+_MAX_EXPR_DEPTH = 100
+
 
 class _Parser:
     def __init__(self, tokens):
         self.tokens = tokens
         self.pos = 0
+        self.expr_depth = 0
 
     # -- token plumbing -------------------------------------------------
     def peek(self, ahead=0):
@@ -406,9 +412,18 @@ class _Parser:
             left = ex.Binary("and", left, self._parse_not())
         return left
 
+    def _nest(self):
+        self.expr_depth += 1
+        if self.expr_depth > _MAX_EXPR_DEPTH:
+            self.error("expression nesting too deep")
+
     def _parse_not(self):
         if self.accept_keyword("not"):
-            return ex.Unary("not", self._parse_not())
+            self._nest()
+            try:
+                return ex.Unary("not", self._parse_not())
+            finally:
+                self.expr_depth -= 1
         return self._parse_comparison()
 
     def _parse_comparison(self):
@@ -442,7 +457,11 @@ class _Parser:
 
     def _parse_unary(self):
         if self.accept_symbol("-"):
-            return ex.Unary("-", self._parse_unary())
+            self._nest()
+            try:
+                return ex.Unary("-", self._parse_unary())
+            finally:
+                self.expr_depth -= 1
         return self._parse_primary()
 
     def _parse_primary(self):
@@ -470,7 +489,11 @@ class _Parser:
             return ex.Rnd()
         if tok.is_symbol("("):
             self.advance()
-            inner = self.parse_expression()
+            self._nest()
+            try:
+                inner = self.parse_expression()
+            finally:
+                self.expr_depth -= 1
             self.expect_symbol(")")
             return inner
         if tok.kind == IDENT:

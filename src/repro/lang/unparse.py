@@ -1,0 +1,199 @@
+"""Render query ASTs back into the census language's textual syntax.
+
+The inverse of :mod:`repro.lang.parser` for the SELECT side (pattern
+definitions already know how to render themselves via
+:meth:`repro.matching.pattern.Pattern.unparse`).  The contract the fuzz
+harness leans on::
+
+    parse_query(unparse_query(q)) == q
+
+for every query the parser can produce.  WHERE expressions are emitted
+fully parenthesised, so operator precedence never has to be
+reconstructed; aliases and output names are emitted explicitly, so the
+parser's defaulting rules cannot change the tree.
+
+Values the lexer has no spelling for — strings containing both quote
+characters or a newline, non-finite floats, keyword-named aliases —
+raise :class:`~repro.errors.QueryError` instead of producing text that
+would tokenize into something else.
+"""
+
+import re
+
+from repro.errors import QueryError
+from repro.lang import ast
+from repro.lang import expressions as ex
+from repro.lang.lexer import KEYWORDS
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
+_NAME_PIECE_RE = re.compile(r"(?:[A-Za-z_][A-Za-z0-9_]*|[0-9]+(?:\.[0-9]+)?)\Z")
+
+
+def _ident(name, what):
+    """Validate ``name`` as a bare identifier the parser will re-read."""
+    if not _IDENT_RE.match(name):
+        raise QueryError(f"{what} {name!r} is not a lexable identifier")
+    if name.lower() in KEYWORDS:
+        raise QueryError(f"{what} {name!r} collides with a keyword")
+    return name
+
+
+def _name(name, what):
+    """Validate a possibly-hyphenated pattern/subpattern name."""
+    pieces = name.split("-")
+    if not pieces[0] or not _IDENT_RE.match(pieces[0]):
+        raise QueryError(f"{what} {name!r} is not a lexable name")
+    for piece in pieces[1:]:
+        if not _NAME_PIECE_RE.match(piece):
+            raise QueryError(f"{what} {name!r} is not a lexable name")
+    return name
+
+
+def _float_text(value):
+    """A NUMBER spelling (digits, one dot, no exponent) for ``value``."""
+    if value != value or value in (float("inf"), float("-inf")):
+        raise QueryError(f"cannot unparse non-finite float {value!r}")
+    text = repr(value)
+    if "e" not in text and "E" not in text:
+        return text if "." in text else text + ".0"
+    # repr chose scientific notation; expand to the shortest fixed-point
+    # spelling that survives the round trip.
+    for precision in range(1, 340):
+        text = f"{value:.{precision}f}"
+        if float(text) == value:
+            return text
+    raise QueryError(f"cannot unparse float {value!r} without an exponent")
+
+
+def _literal_text(value):
+    if value is None:
+        return "NULL"
+    if value is True:
+        return "TRUE"
+    if value is False:
+        return "FALSE"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return _float_text(value)
+    if isinstance(value, str):
+        if "\n" in value:
+            raise QueryError("cannot unparse a string containing a newline")
+        if "'" not in value:
+            return f"'{value}'"
+        if '"' not in value:
+            return f'"{value}"'
+        raise QueryError("cannot unparse a string containing both quote characters")
+    raise QueryError(f"cannot unparse literal of type {type(value).__name__}")
+
+
+def unparse_expression(expr):
+    """Render a WHERE expression, fully parenthesised."""
+    if isinstance(expr, ex.Literal):
+        return _literal_text(expr.value)
+    if isinstance(expr, ex.Column):
+        return _column_ref(expr.ref)
+    if isinstance(expr, ex.Rnd):
+        return "RND()"
+    if isinstance(expr, ex.Unary):
+        op = "NOT " if expr.op == "not" else "-"
+        return f"({op}{unparse_expression(expr.operand)})"
+    if isinstance(expr, ex.Binary):
+        op = expr.op.upper() if expr.op in ("and", "or") else expr.op
+        return f"({unparse_expression(expr.left)} {op} {unparse_expression(expr.right)})"
+    raise QueryError(f"cannot unparse expression node {type(expr).__name__}")
+
+
+def _table(table):
+    # "nodes" is the parser's own default alias for a lone table; the
+    # parser consumes the token after AS unconditionally, so spelling
+    # it out round-trips even though it collides with the keyword.
+    if table.alias == "nodes":
+        return "nodes AS nodes"
+    return f"nodes AS {_ident(table.alias, 'alias')}"
+
+
+def _column_ref(ref):
+    if ref.alias is None:
+        return _ident(ref.name, "column")
+    return f"{_ident(ref.alias, 'alias')}.{_ident(ref.name, 'column')}"
+
+
+def _neighborhood(hood):
+    args = ", ".join(_column_ref(t) for t in hood.targets)
+    if hood.kind == "subgraph":
+        return f"SUBGRAPH({args}, {hood.k})"
+    return f"SUBGRAPH-{hood.kind.upper()}({args}, {hood.k})"
+
+
+def _select_item(item):
+    if isinstance(item, ast.ColumnRef):
+        return _column_ref(item)
+    if isinstance(item, ast.Aggregate):
+        hood = _neighborhood(item.neighborhood)
+        if item.subpattern_name is None:
+            call = f"COUNTP({_name(item.pattern_name, 'pattern')}, {hood})"
+            default = f"countp_{item.pattern_name}"
+        else:
+            call = (
+                f"COUNTSP({_name(item.subpattern_name, 'subpattern')}, "
+                f"{_name(item.pattern_name, 'pattern')}, {hood})"
+            )
+            default = f"countsp_{item.subpattern_name}_{item.pattern_name}"
+        if item.output_name == default and not _IDENT_RE.match(item.output_name):
+            # Hyphenated pattern names yield unlexable default output
+            # names; omitting AS makes the parser re-derive the same one.
+            return call
+        return f"{call} AS {_ident(item.output_name, 'output name')}"
+    raise QueryError(f"cannot unparse select item {type(item).__name__}")
+
+
+def _order_item(item):
+    parts = item.key.split(".")
+    if len(parts) > 2 or not all(_IDENT_RE.match(p) for p in parts):
+        raise QueryError(f"ORDER BY key {item.key!r} is not a lexable key")
+    direction = "ASC" if item.ascending else "DESC"
+    return f"{item.key} {direction}"
+
+
+def unparse_query(query):
+    """Render a :class:`~repro.lang.ast.SelectQuery` back into text."""
+    parts = ["SELECT "]
+    parts.append(", ".join(_select_item(c) for c in query.columns))
+    parts.append(" FROM ")
+    parts.append(", ".join(_table(t) for t in query.tables))
+    if query.where is not None:
+        parts.append(" WHERE ")
+        parts.append(unparse_expression(query.where))
+    if query.order_by:
+        parts.append(" ORDER BY ")
+        parts.append(", ".join(_order_item(item) for item in query.order_by))
+    if query.limit is not None:
+        parts.append(f" LIMIT {query.limit}")
+    return "".join(parts)
+
+
+def unparse_statement(statement):
+    """Render any statement ``parse_script`` can return."""
+    if isinstance(statement, ast.ExplainStatement):
+        prefix = "EXPLAIN ANALYZE " if statement.analyze else "EXPLAIN "
+        return prefix + unparse_query(statement.query)
+    if isinstance(statement, ast.SelectQuery):
+        return unparse_query(statement)
+    unparse = getattr(statement, "unparse", None)
+    if callable(unparse):
+        return unparse()
+    raise QueryError(f"cannot unparse statement {type(statement).__name__}")
+
+
+def unparse_script(statements):
+    """Render a statement list back into a parseable script."""
+    return "\n".join(f"{unparse_statement(s)};" for s in statements)
+
+
+__all__ = [
+    "unparse_expression",
+    "unparse_query",
+    "unparse_statement",
+    "unparse_script",
+]

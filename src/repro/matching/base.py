@@ -1,6 +1,7 @@
 """Shared match machinery: the Match record, candidate filtering, and
 incremental constraint checks used by all three matchers."""
 
+from repro.exec.budget import current_budget
 from repro.graph.profiles import NodeProfileIndex, profile_contains
 
 
@@ -126,6 +127,7 @@ def enumerate_candidates(graph, pattern, profile_index=None):
         profile_index = getattr(graph, "profile_index", None)
         if profile_index is None:
             profile_index = NodeProfileIndex(graph)
+    budget = current_budget()
     candidates = {}
     for var in pattern.nodes:
         label = pattern.label_of(var)
@@ -138,6 +140,8 @@ def enumerate_candidates(graph, pattern, profile_index=None):
         single_preds = pattern.single_var_predicates(var)
         chosen = set()
         for n in pool:
+            if budget is not None:
+                budget.tick()
             if graph.degree(n) < total_deg:
                 continue
             if graph.directed:

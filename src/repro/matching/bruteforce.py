@@ -7,6 +7,8 @@ small graphs used in tests, where it serves as ground truth for both
 CN and GQL.
 """
 
+from repro.exec.budget import current_budget
+from repro.exec.faults import fault_point
 from repro.graph.graph import LABEL_KEY
 from repro.matching.base import Match, check_new_binding, dedupe_matches, neighbor_set
 from repro.matching.order import connected_order, earlier_neighbors
@@ -19,6 +21,7 @@ def bruteforce_matches(graph, pattern, distinct=True):
     back_edges = [earlier_neighbors(pattern, order, i) for i in range(len(order))]
     all_nodes = list(graph.nodes())
 
+    budget = current_budget()
     matches = []
     assignment = {}
     bound = []
@@ -37,9 +40,14 @@ def bruteforce_matches(graph, pattern, distinct=True):
     def extend(i):
         if i == len(order):
             matches.append(Match(assignment, pattern))
+            if budget is not None:
+                budget.count_result()
             return
+        fault_point("match.expand")
         var = order[i]
         for node in all_nodes:
+            if budget is not None:
+                budget.tick()
             if not label_ok(var, node) or not single_preds_ok(var, node):
                 continue
             ok = True

@@ -17,6 +17,8 @@ Four steps, mirroring Algorithm 1:
    full candidate sets.
 """
 
+from repro.exec.budget import current_budget
+from repro.exec.faults import fault_point
 from repro.matching.base import (
     Match,
     check_new_binding,
@@ -56,9 +58,12 @@ def build_cn_state(graph, pattern, profile_index=None):
         v: [(other, edge, edge_ids[id(edge)]) for other, edge in pattern.positive_neighbors(v)]
         for v in pattern.nodes
     }
+    budget = current_budget()
     cn = {}
     for var, cset in candidates.items():
         for n in cset:
+            if budget is not None:
+                budget.tick()
             entry = {}
             for other, edge, eid in neighbor_lists[var]:
                 # `&` allocates a fresh set, so the graph's own neighbor
@@ -73,6 +78,8 @@ def build_cn_state(graph, pattern, profile_index=None):
     while changed:
         changed = False
         passes += 1
+        if budget is not None:
+            budget.tick(sum(len(c) for c in candidates.values()))
         # Drop candidates with an empty candidate-neighbor set.
         for var in pattern.nodes:
             doomed = [
@@ -115,6 +122,7 @@ def extract_matches(graph, pattern, state, limit=None):
     back_edges = [earlier_neighbors(pattern, order, i) for i in range(len(order))]
     edge_ids = {id(e): i for i, e in enumerate(pattern.edges)}
 
+    budget = current_budget()
     matches = []
     assignment = {}
     bound = []
@@ -124,7 +132,10 @@ def extract_matches(graph, pattern, state, limit=None):
             return
         if i == len(order):
             matches.append(Match(assignment, pattern))
+            if budget is not None:
+                budget.count_result()
             return
+        fault_point("match.expand")
         var = order[i]
         if i == 0:
             pool = state.candidates[var]
@@ -136,6 +147,8 @@ def extract_matches(graph, pattern, state, limit=None):
                 if not pool:
                     return
         for node in pool:
+            if budget is not None:
+                budget.tick()
             if check_new_binding(graph, pattern, assignment, var, node, bound):
                 assignment[var] = node
                 bound.append(var)

@@ -12,6 +12,8 @@ neighbor sets eliminate; keeping everything else identical makes the
 F4a/F4b comparison measure that one design choice.
 """
 
+from repro.exec.budget import current_budget
+from repro.exec.faults import fault_point
 from repro.matching.base import (
     Match,
     check_new_binding,
@@ -32,6 +34,7 @@ def refine_candidates(graph, pattern, candidates, max_passes=None):
     """
     if max_passes is None:
         max_passes = len(pattern.nodes)
+    budget = current_budget()
     neighbor_lists = {v: pattern.positive_neighbors(v) for v in pattern.nodes}
     passes = 0
     for _ in range(max_passes):
@@ -40,6 +43,8 @@ def refine_candidates(graph, pattern, candidates, max_passes=None):
         for var in pattern.nodes:
             doomed = []
             for n in candidates[var]:
+                if budget is not None:
+                    budget.tick()
                 for other, edge in neighbor_lists[var]:
                     nbrs = neighbor_set(graph, n, var, edge)
                     if not any(x in candidates[other] for x in nbrs):
@@ -71,6 +76,7 @@ def _gql_matches(graph, pattern, distinct, profile_index, obs):
     order = connected_order(pattern, {v: len(c) for v, c in candidates.items()})
     back_edges = [earlier_neighbors(pattern, order, i) for i in range(len(order))]
 
+    budget = current_budget()
     matches = []
     assignment = {}
     bound = []
@@ -84,11 +90,16 @@ def _gql_matches(graph, pattern, distinct, profile_index, obs):
     def extend(i):
         if i == len(order):
             matches.append(Match(assignment, pattern))
+            if budget is not None:
+                budget.count_result()
             return
+        fault_point("match.expand")
         var = order[i]
         # The GQL cost model: scan the whole candidate set of the next
         # variable and filter by adjacency with the bound prefix.
         scanned[0] += len(candidates[var])
+        if budget is not None:
+            budget.tick(len(candidates[var]))
         for node in candidates[var]:
             ok = True
             for earlier, edge in back_edges[i]:

@@ -8,10 +8,13 @@ pinned), and assemble a :class:`repro.query.result.ResultTable`.
 """
 
 import random
+from contextlib import nullcontext
 from itertools import product
 
-from repro.census import census, pairwise_census
+from repro.census import pairwise_census
 from repro.errors import QueryError
+from repro.exec.budget import ExecutionBudget
+from repro.exec.governor import governed_census
 from repro.graph.csr import freeze
 from repro.lang.ast import Aggregate, ExplainStatement, SelectQuery
 from repro.lang.catalog import PatternCatalog, standard_patterns
@@ -57,11 +60,25 @@ class QueryEngine:
         classic serial path, larger values (or ``None`` for the CPU
         count) chunk focal nodes over a process pool (see
         :mod:`repro.census.parallel`).  Pairwise censuses stay serial.
+    timeout, max_ops, max_results:
+        Per-statement execution budget (see
+        :class:`repro.exec.budget.ExecutionBudget`): a wall-clock
+        deadline in seconds, a cooperative work-operation cap, and a
+        materialized-result cap.  A fresh budget is built for every
+        statement; when all three are ``None`` (the default), statements
+        run ungoverned — or under whatever budget the caller activated
+        ambiently.
+    degrade:
+        When a budget expires mid-census, fall back to the sampling
+        estimator instead of raising :class:`repro.errors.BudgetExceeded`;
+        affected results are marked ``partial`` (see
+        :mod:`repro.exec.governor`).
     """
 
     def __init__(self, graph, catalog=None, seed=0, algorithm="auto",
                  pairwise_algorithm="nd", matcher="cn", cache=False, obs=None,
-                 backend="dict", workers=1):
+                 backend="dict", workers=1, timeout=None, max_ops=None,
+                 max_results=None, degrade=False):
         if backend not in ("dict", "csr"):
             raise QueryError(f"unknown backend {backend!r}; expected 'dict' or 'csr'")
         self.base_graph = graph
@@ -74,6 +91,10 @@ class QueryEngine:
         self.pairwise_algorithm = pairwise_algorithm
         self.matcher = matcher
         self.obs = obs
+        self.timeout = timeout
+        self.max_ops = max_ops
+        self.max_results = max_results
+        self.degrade = bool(degrade)
         # Aggregate-result cache.  Opt-in because it assumes the graph
         # is not mutated between queries; pattern redefinitions are
         # handled via the catalog version.
@@ -164,26 +185,47 @@ class QueryEngine:
                 finally:
                     self._record_io_deltas(obs, io_before)
 
+    def _make_budget(self):
+        """A fresh per-statement budget, or ``None`` when unconfigured."""
+        if self.timeout is None and self.max_ops is None and self.max_results is None:
+            return None
+        return ExecutionBudget(
+            timeout=self.timeout, max_ops=self.max_ops,
+            max_results=self.max_results,
+        )
+
     def _run_select(self, query, obs):
         aliases = [t.alias for t in query.tables]
         with obs.span("query.bind"):
             self._validate_references(query, aliases)
         rng = random.Random(self.seed)
 
-        with obs.span("query.scan") as scan_span:
-            if query.is_pair_query:
-                bindings = self._pair_bindings(query, aliases, rng)
-            else:
-                bindings = self._node_bindings(query, aliases[0], rng)
-            scan_span.set("rows", len(bindings))
-            obs.add("query.focal_bindings", len(bindings))
+        # One budget per statement; entering it makes it ambient so the
+        # matching/census hot loops pick it up.  Unconfigured engines
+        # leave whatever budget the caller activated in force.
+        budget = self._make_budget()
+        with budget if budget is not None else nullcontext():
+            with obs.span("query.scan") as scan_span:
+                if query.is_pair_query:
+                    bindings = self._pair_bindings(query, aliases, rng)
+                else:
+                    bindings = self._node_bindings(query, aliases[0], rng)
+                scan_span.set("rows", len(bindings))
+                obs.add("query.focal_bindings", len(bindings))
 
-        aggregate_values = {}
-        for agg in query.aggregates():
-            with obs.span("query.aggregate", output=agg.output_name):
-                aggregate_values[id(agg)] = self._evaluate_aggregate(
-                    agg, aliases, bindings
-                )
+            aggregate_values = {}
+            partial = False
+            notes = []
+            for agg in query.aggregates():
+                with obs.span("query.aggregate", output=agg.output_name) as agg_span:
+                    values, outcome = self._evaluate_aggregate(
+                        agg, aliases, bindings
+                    )
+                    aggregate_values[id(agg)] = values
+                    if outcome is not None and outcome.partial:
+                        partial = True
+                        notes.append(f"{agg.output_name}: {outcome.note}")
+                        agg_span.set("partial", True)
 
         columns = []
         for item in query.columns:
@@ -203,7 +245,7 @@ class QueryEngine:
             rows.append(tuple(row))
 
         with obs.span("query.sort_limit"):
-            table = ResultTable(columns, rows)
+            table = ResultTable(columns, rows, partial=partial, notes=notes)
             for order in reversed(query.order_by):
                 table = table.sorted_by(order.key, descending=not order.ascending)
             if query.limit is not None:
@@ -310,7 +352,13 @@ class QueryEngine:
         return aliases.index(ref.alias)
 
     def _evaluate_aggregate(self, agg, aliases, bindings):
-        """Map each row binding to its aggregate count."""
+        """Map each row binding to its aggregate count.
+
+        Returns ``(values, outcome)``: ``values`` maps bindings to
+        counts; ``outcome`` is the :class:`repro.exec.governor.CensusOutcome`
+        of a governed single-node census (``None`` for pairwise
+        aggregates, which never degrade — a budget failure there raises).
+        """
         pattern = self.catalog.get(agg.pattern_name)
         hood = agg.neighborhood
 
@@ -318,10 +366,10 @@ class QueryEngine:
             target = hood.targets[0]
             pos = self._alias_position(target, aliases)
             focal = {binding[pos] for binding in bindings}
-            counts = self._cached(
+            outcome = self._cached(
                 ("subgraph", agg.pattern_name, agg.subpattern_name, hood.k,
                  self.algorithm, frozenset(focal)),
-                lambda: census(
+                lambda: governed_census(
                     self.graph,
                     pattern,
                     hood.k,
@@ -330,9 +378,12 @@ class QueryEngine:
                     algorithm=self.algorithm,
                     matcher=self.matcher,
                     workers=self.workers,
+                    degrade=self.degrade,
+                    seed=self.seed,
                 ),
             )
-            return {binding: counts[binding[pos]] for binding in bindings}
+            counts = outcome.counts
+            return {binding: counts[binding[pos]] for binding in bindings}, outcome
 
         pos1 = self._alias_position(hood.targets[0], aliases)
         pos2 = self._alias_position(hood.targets[1], aliases)
@@ -351,7 +402,7 @@ class QueryEngine:
                 matcher=self.matcher,
             ),
         )
-        return {b: counts[(b[pos1], b[pos2])] for b in bindings}
+        return {b: counts[(b[pos1], b[pos2])] for b in bindings}, None
 
     def _cached(self, key, compute):
         if not self.cache_enabled:
@@ -367,5 +418,8 @@ class QueryEngine:
             self.cache_misses += 1
             obs.add("query.aggregate_cache.misses", 1)
             value = compute()
-            self._cache[key] = value
+            # A degraded (partial) outcome is an estimate under one
+            # particular budget failure; never serve it from the cache.
+            if not getattr(value, "partial", False):
+                self._cache[key] = value
             return value

@@ -145,6 +145,12 @@ _ANALYZE_COUNTERS = (
     ("census.nd_diff.diff_steps", "differential steps"),
     ("census.parallel.chunks", "focal chunks"),
     ("census.parallel.workers", "workers"),
+    ("census.parallel.chunk_retries", "chunks retried"),
+    ("exec.budget.deadline_exceeded", "deadline exceeded"),
+    ("exec.budget.work_exceeded", "work budget exceeded"),
+    ("exec.budget.results_exceeded", "result cap exceeded"),
+    ("exec.degraded", "degraded to sampling"),
+    ("exec.faults.injected", "faults injected"),
     ("census.pt_bas.edge_visits", "edge visits"),
     ("census.pt_opt.edge_visits", "edge visits"),
     ("census.pt_opt.queue_pops", "bucket-queue pops"),
@@ -221,6 +227,8 @@ def _aggregate_actuals(span):
     cached = span.metrics.get("query.aggregate_cache.hits")
     if cached:
         parts.append("served from aggregate cache")
+    if span.attrs.get("partial"):
+        parts.append("PARTIAL (budget exhausted, sampled estimate)")
     executed = {c.name for c in span.children if c.name.startswith("census.")}
     if executed:
         parts.append("ran " + "+".join(sorted(executed)))
@@ -260,6 +268,27 @@ def _execution_summary(root, ctx):
             f"STORAGE: page cache {pc_hits} hits / {pc_misses} misses{rate}; "
             f"{storage.get('pager.pages_read', 0)} pages read, "
             f"{storage.get('pager.pages_written', 0)} written"
+        )
+    exceeded = {
+        reason: metrics.get(f"exec.budget.{reason}_exceeded", 0)
+        for reason in ("deadline", "work", "results")
+    }
+    if any(exceeded.values()):
+        parts = ", ".join(
+            f"{reason} exceeded {count}x"
+            for reason, count in exceeded.items() if count
+        )
+        degraded = metrics.get("exec.degraded", 0)
+        suffix = (
+            f"; {degraded} aggregate(s) degraded to sampling"
+            if degraded else "; no degradation (query failed or retried)"
+        )
+        lines.append(f"BUDGET: {parts}{suffix}")
+    retries = metrics.get("census.parallel.chunk_retries", 0)
+    if retries:
+        lines.append(
+            f"FAULTS: {metrics.get('census.parallel.worker_crashes', 0)} "
+            f"worker crash event(s), {retries} chunk(s) retried serially"
         )
     stage_total = sum(c.duration for c in root.children)
     lines.append(

@@ -12,11 +12,20 @@ class ResultTable:
     Rows are tuples aligned with ``columns``.  Provides the small set of
     operations the examples and benchmarks need: column access, sorting,
     top-k, and plain-text rendering.
+
+    ``partial`` marks a table whose aggregate values are estimates — a
+    budget expired mid-census and the engine degraded to sampling —
+    with one human-readable reason per affected aggregate in ``notes``.
+    Both survive :meth:`sorted_by` / :meth:`top` / :meth:`head` and the
+    JSON round-trip, so a partial result can never silently masquerade
+    as an exact one downstream.
     """
 
-    def __init__(self, columns, rows):
+    def __init__(self, columns, rows, partial=False, notes=()):
         self.columns = list(columns)
         self.rows = [tuple(r) for r in rows]
+        self.partial = bool(partial)
+        self.notes = list(notes)
         for row in self.rows:
             if len(row) != len(self.columns):
                 raise QueryError(
@@ -42,14 +51,16 @@ class ResultTable:
     def sorted_by(self, name, descending=False):
         i = self.column_index(name)
         rows = sorted(self.rows, key=lambda r: r[i], reverse=descending)
-        return ResultTable(self.columns, rows)
+        return ResultTable(self.columns, rows, partial=self.partial, notes=self.notes)
 
     def top(self, n, by):
         """The ``n`` rows with the largest values of column ``by``."""
-        return ResultTable(self.columns, self.sorted_by(by, descending=True).rows[:n])
+        return ResultTable(self.columns, self.sorted_by(by, descending=True).rows[:n],
+                           partial=self.partial, notes=self.notes)
 
     def head(self, n):
-        return ResultTable(self.columns, self.rows[:n])
+        return ResultTable(self.columns, self.rows[:n], partial=self.partial,
+                           notes=self.notes)
 
     def __len__(self):
         return len(self.rows)
@@ -75,9 +86,14 @@ class ResultTable:
             writer.writerows(self.rows)
 
     def to_json(self, path=None):
-        """Serialize as ``{"columns": [...], "rows": [...]}``; returns
-        the JSON string, also writing it to ``path`` when given."""
-        text = json.dumps({"columns": self.columns, "rows": [list(r) for r in self.rows]})
+        """Serialize as ``{"columns": [...], "rows": [...]}`` (plus
+        ``partial``/``notes`` for degraded results); returns the JSON
+        string, also writing it to ``path`` when given."""
+        doc = {"columns": self.columns, "rows": [list(r) for r in self.rows]}
+        if self.partial:
+            doc["partial"] = True
+            doc["notes"] = self.notes
+        text = json.dumps(doc)
         if path is not None:
             with open(path, "w") as f:
                 f.write(text)
@@ -86,7 +102,8 @@ class ResultTable:
     @classmethod
     def from_json(cls, text):
         doc = json.loads(text)
-        return cls(doc["columns"], [tuple(r) for r in doc["rows"]])
+        return cls(doc["columns"], [tuple(r) for r in doc["rows"]],
+                   partial=doc.get("partial", False), notes=doc.get("notes", ()))
 
     def render(self, max_rows=20):
         """Fixed-width text rendering (truncated at ``max_rows`` rows)."""
@@ -102,6 +119,10 @@ class ResultTable:
             lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
         if len(self.rows) > max_rows:
             lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        if self.partial:
+            lines.append("[partial result]")
+            for note in self.notes:
+                lines.append(f"  {note}")
         return "\n".join(lines)
 
     def __str__(self):

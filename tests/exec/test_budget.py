@@ -1,0 +1,116 @@
+"""Unit tests for the execution budget: limits, transfer, activation."""
+
+import time
+
+import pytest
+
+from repro.errors import BudgetExceeded, Cancelled
+from repro.exec.budget import ExecutionBudget, activate_budget, current_budget
+
+
+class TestLimits:
+    def test_unlimited_budget_never_raises(self):
+        b = ExecutionBudget()
+        b.tick(10**6)
+        b.count_result(10**6)
+        assert b.ops == 10**6
+
+    def test_work_budget(self):
+        b = ExecutionBudget(max_ops=10)
+        b.tick(10)
+        with pytest.raises(BudgetExceeded) as exc:
+            b.tick()
+        assert exc.value.reason == "work"
+        assert exc.value.spent == 11
+        assert exc.value.limit == 10
+
+    def test_result_cap(self):
+        b = ExecutionBudget(max_results=2)
+        b.count_result(2)
+        with pytest.raises(BudgetExceeded) as exc:
+            b.count_result()
+        assert exc.value.reason == "results"
+
+    def test_deadline(self):
+        b = ExecutionBudget(timeout=0.005)
+        time.sleep(0.01)
+        with pytest.raises(BudgetExceeded) as exc:
+            b.tick()
+        assert exc.value.reason == "deadline"
+        assert exc.value.spent >= 0.005
+
+    def test_invalid_limits_rejected(self):
+        for kwargs in ({"timeout": 0}, {"max_ops": -1}, {"max_results": 0}):
+            with pytest.raises(ValueError):
+                ExecutionBudget(**kwargs)
+
+    def test_cancel(self):
+        b = ExecutionBudget()
+        assert not b.cancelled
+        b.cancel()
+        assert b.cancelled
+        with pytest.raises(Cancelled):
+            b.check()
+
+
+class TestActivation:
+    def test_ambient_protocol(self):
+        assert current_budget() is None
+        b = ExecutionBudget(max_ops=5)
+        with b:
+            assert current_budget() is b
+            with activate_budget(None):
+                # Explicit suspension, as used by the degradation path.
+                assert current_budget() is None
+            assert current_budget() is b
+        assert current_budget() is None
+
+    def test_activation_restored_after_exception(self):
+        b = ExecutionBudget(max_ops=1)
+        with pytest.raises(BudgetExceeded):
+            with b:
+                b.tick(2)
+        assert current_budget() is None
+
+
+class TestTransfer:
+    def test_spec_roundtrip_carries_remaining_allowance(self):
+        b = ExecutionBudget(timeout=60.0, max_ops=100, max_results=7)
+        b.tick(30)
+        spec = b.spec()
+        assert spec["max_ops"] == 70
+        assert spec["max_results"] == 7
+        assert 0 < spec["timeout"] <= 60.0
+        rebuilt = ExecutionBudget.from_spec(spec)
+        rebuilt.tick(70)
+        with pytest.raises(BudgetExceeded):
+            rebuilt.tick()
+
+    def test_spec_of_unlimited_budget(self):
+        spec = ExecutionBudget().spec()
+        assert spec == {"timeout": None, "max_ops": None, "max_results": None}
+        assert ExecutionBudget.from_spec(None) is None
+
+    def test_exhausted_deadline_ships_as_epsilon(self):
+        b = ExecutionBudget(timeout=0.001)
+        time.sleep(0.005)
+        spec = b.spec()
+        assert spec["timeout"] > 0
+        rebuilt = ExecutionBudget.from_spec(spec)
+        time.sleep(0.002)
+        with pytest.raises(BudgetExceeded):
+            rebuilt.tick()
+
+    def test_exhausted_work_budget_ships_one_op(self):
+        b = ExecutionBudget(max_ops=5)
+        b.ops = 5
+        assert b.spec()["max_ops"] == 1
+
+    def test_exception_pickles_across_processes(self):
+        import pickle
+
+        exc = BudgetExceeded("deadline", 1.5, 1.0)
+        clone = pickle.loads(pickle.dumps(exc))
+        assert clone.reason == "deadline"
+        assert clone.spent == 1.5
+        assert clone.limit == 1.0

@@ -1,0 +1,113 @@
+"""Unit tests for the fault-injection plan semantics."""
+
+import pickle
+import time
+
+import pytest
+
+from repro.exec.faults import (
+    SITES,
+    Fault,
+    FaultPlan,
+    active_plan,
+    fault_point,
+    install_faults,
+    mark_worker_process,
+)
+
+
+class TestFaultValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError):
+            Fault("no.such.site", "raise")
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            Fault("census.bfs", "explode")
+
+    def test_unknown_scope_rejected(self):
+        with pytest.raises(ValueError):
+            Fault("census.bfs", "raise", scope="thread")
+
+    def test_raise_defaults_exception(self):
+        f = Fault("census.bfs", "raise")
+        assert isinstance(f.exc, RuntimeError)
+
+
+class TestPlanSemantics:
+    def test_disarmed_fault_point_is_noop(self):
+        assert active_plan() is None
+        for site in SITES:
+            fault_point(site)  # must not raise
+
+    def test_fires_at_exact_hit_index(self):
+        plan = FaultPlan().add("census.bfs", "raise", at=3)
+        with install_faults(plan):
+            fault_point("census.bfs")
+            fault_point("census.bfs")
+            with pytest.raises(RuntimeError):
+                fault_point("census.bfs")
+        assert plan.hits["census.bfs"] == 3
+        assert plan.fired == 1
+
+    def test_none_fires_every_hit(self):
+        plan = FaultPlan().add("match.expand", "delay", at=None, delay=0.0)
+        with install_faults(plan):
+            for _ in range(4):
+                fault_point("match.expand")
+        assert plan.fired == 4
+
+    def test_sites_are_independent(self):
+        plan = FaultPlan().add("census.bfs", "raise", at=1)
+        with install_faults(plan):
+            fault_point("match.expand")
+            fault_point("parallel.chunk")
+            with pytest.raises(RuntimeError):
+                fault_point("census.bfs")
+
+    def test_delay_sleeps(self):
+        plan = FaultPlan().add("census.bfs", "delay", at=1, delay=0.02)
+        start = time.perf_counter()
+        with install_faults(plan):
+            fault_point("census.bfs")
+        assert time.perf_counter() - start >= 0.02
+
+    def test_install_restores_previous_plan(self):
+        outer = FaultPlan()
+        inner = FaultPlan()
+        with install_faults(outer):
+            with install_faults(inner):
+                assert active_plan() is inner
+            assert active_plan() is outer
+        assert active_plan() is None
+
+
+class TestWorkerScope:
+    def test_worker_scoped_fault_skipped_in_parent(self):
+        plan = FaultPlan().add("parallel.chunk", "raise", at=None, scope="worker")
+        with install_faults(plan):
+            fault_point("parallel.chunk")  # parent process: no fire
+        assert plan.fired == 0
+
+    def test_worker_scoped_fault_fires_when_marked(self):
+        plan = FaultPlan().add("parallel.chunk", "raise", at=None, scope="worker")
+        mark_worker_process(True)
+        try:
+            with install_faults(plan):
+                with pytest.raises(RuntimeError):
+                    fault_point("parallel.chunk")
+        finally:
+            mark_worker_process(False)
+
+
+class TestPickling:
+    def test_hit_counters_reset_across_pickle(self):
+        plan = FaultPlan().add("census.bfs", "delay", at=None, delay=0.0)
+        with install_faults(plan):
+            fault_point("census.bfs")
+        assert plan.hits == {"census.bfs": 1}
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.hits == {}
+        assert clone.fired == 0
+        assert len(clone.faults) == 1
+        assert clone.faults[0].site == "census.bfs"

@@ -5,6 +5,7 @@ Arbitrary input must either parse or raise :class:`ParseError` /
 must round-trip.
 """
 
+import pytest
 from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
@@ -51,6 +52,32 @@ class TestParserFuzz:
             parse_query(text)
         except ReproError:
             pass
+
+
+class TestDeepNesting:
+    """Regression: recursive descent used to hit RecursionError (an
+    unsanctioned crash) on pathologically nested expressions."""
+
+    def test_deep_parens_raise_parse_error(self):
+        text = "SELECT a FROM nodes WHERE " + "(" * 4000 + "1" + ")" * 4000
+        with pytest.raises(ParseError, match="nesting too deep"):
+            parse_query(text)
+
+    def test_deep_not_chain_raises_parse_error(self):
+        text = "SELECT a FROM nodes WHERE " + "NOT " * 4000 + "1"
+        with pytest.raises(ParseError, match="nesting too deep"):
+            parse_query(text)
+
+    def test_deep_unary_minus_raises_parse_error(self):
+        # '- ' spacing matters: '--' would lex as a comment.
+        text = "SELECT a FROM nodes WHERE " + "- " * 4000 + "1"
+        with pytest.raises(ParseError, match="nesting too deep"):
+            parse_query(text)
+
+    def test_reasonable_nesting_still_parses(self):
+        text = "SELECT a FROM nodes WHERE " + "(" * 50 + "1" + ")" * 50
+        q = parse_query(text)
+        assert q.where is not None
 
 
 def _names():

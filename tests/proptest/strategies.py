@@ -1,0 +1,99 @@
+"""Shared Hypothesis strategies for the property-based test harness.
+
+All differential and fault-injection property tests draw graphs,
+patterns, and radii from here so that every harness explores the same
+input space: small random graphs with isolated nodes and optional
+labels (both known sources of past bugs), the pattern shapes the paper
+benchmarks, and the k values the census algorithms specialize for.
+"""
+
+from hypothesis import strategies as st
+
+from repro.graph.graph import Graph
+from repro.matching.pattern import Pattern
+
+#: Labels drawn for labeled graphs/patterns.
+LABELS = ("X", "Y")
+
+
+@st.composite
+def graphs(draw, max_nodes=12, labeled=False, min_nodes=1):
+    """A small undirected :class:`Graph`.
+
+    Nodes are ``0..n-1`` and *every* node is added explicitly, so the
+    graph can contain isolated nodes (including trailing ones — a past
+    CSR off-by-one) and, when ``labeled``, each node carries a label
+    from :data:`LABELS`.
+    """
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    g = Graph()
+    if labeled:
+        labels = draw(st.lists(st.sampled_from(LABELS), min_size=n, max_size=n))
+        for i in range(n):
+            g.add_node(i, label=labels[i])
+    else:
+        for i in range(n):
+            g.add_node(i)
+    if n >= 2:
+        edges = draw(
+            st.lists(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                max_size=3 * n,
+            )
+        )
+        for u, v in edges:
+            if u != v:
+                g.add_edge(u, v)
+    return g
+
+
+def _pattern(name, edges, labels=()):
+    p = Pattern(name)
+    for u, v in edges:
+        p.add_edge(u, v)
+    for var, label in labels:
+        p.add_node(var, label=label)
+    return p
+
+
+def _pattern_menu(labeled=False):
+    """The pattern shapes every harness cycles through.
+
+    Mirrors the paper's benchmark shapes at test scale: a single edge,
+    a 2-path, a triangle, and a 3-star.  ``labeled`` adds variants that
+    constrain variables to :data:`LABELS` members.
+    """
+    menu = [
+        _pattern("edge", [("A", "B")]),
+        _pattern("path2", [("A", "B"), ("B", "C")]),
+        _pattern("tri", [("A", "B"), ("B", "C"), ("A", "C")]),
+        _pattern("star3", [("A", "B"), ("A", "C"), ("A", "D")]),
+    ]
+    if labeled:
+        menu.extend(
+            [
+                _pattern("edge_xy", [("A", "B")], labels=[("A", "X"), ("B", "Y")]),
+                _pattern("path2_x", [("A", "B"), ("B", "C")], labels=[("B", "X")]),
+            ]
+        )
+    return menu
+
+
+def patterns(labeled=False):
+    """Strategy over validated census patterns."""
+    return st.sampled_from(_pattern_menu(labeled=labeled))
+
+
+def radii(max_k=3):
+    """Neighborhood radii; ``k=0`` (the focal node alone) included."""
+    return st.integers(min_value=0, max_value=max_k)
+
+
+@st.composite
+def census_cases(draw, max_nodes=12, labeled=False, max_k=3):
+    """A ready-to-run ``(graph, pattern, k)`` census input."""
+    use_labels = labeled and draw(st.booleans())
+    graph = draw(graphs(max_nodes=max_nodes, labeled=use_labels))
+    pattern = draw(patterns(labeled=use_labels))
+    k = draw(radii(max_k=max_k))
+    return graph, pattern, k

@@ -1,0 +1,85 @@
+"""Differential census testing: every execution mode agrees exactly.
+
+The census has one semantics and many implementations: five algorithms,
+two matchers, two graph backends (dict vs CSR snapshot), and serial vs
+chunked-parallel execution.  Each test here pins all dimensions but one
+to the reference configuration (ND-BAS x CN x dict x serial) and sweeps
+the remaining dimension over random inputs, asserting exact count
+equality — the property the paper states and every optimization must
+preserve.
+"""
+
+from hypothesis import given, settings
+
+from repro.census import ALGORITHMS, census, parallel_census
+from repro.graph.csr import freeze
+
+from tests.proptest.strategies import census_cases
+
+#: The correctness reference (see repro/census/nd_bas.py docstring).
+REFERENCE = "nd-bas"
+
+NON_REFERENCE = sorted(set(ALGORITHMS) - {REFERENCE})
+
+
+def reference_counts(graph, pattern, k):
+    return census(graph, pattern, k, algorithm=REFERENCE, matcher="cn")
+
+
+class TestAlgorithmsAgree:
+    @settings(max_examples=25)
+    @given(census_cases(labeled=True))
+    def test_all_algorithms_match_reference(self, case):
+        graph, pattern, k = case
+        expected = reference_counts(graph, pattern, k)
+        for algorithm in NON_REFERENCE:
+            got = census(graph, pattern, k, algorithm=algorithm, matcher="cn")
+            assert got == expected, f"{algorithm} diverged from {REFERENCE}"
+
+
+class TestMatchersAgree:
+    @settings(max_examples=25)
+    @given(census_cases(labeled=True, max_nodes=10))
+    def test_bruteforce_cn_gql_agree(self, case):
+        graph, pattern, k = case
+        expected = census(graph, pattern, k, algorithm="nd-pvot", matcher="bruteforce")
+        for matcher in ("cn", "gql"):
+            got = census(graph, pattern, k, algorithm="nd-pvot", matcher=matcher)
+            assert got == expected, f"matcher {matcher} diverged from bruteforce"
+
+
+class TestBackendsAgree:
+    @settings(max_examples=25)
+    @given(census_cases(labeled=True))
+    def test_csr_snapshot_matches_dict(self, case):
+        graph, pattern, k = case
+        expected = reference_counts(graph, pattern, k)
+        snapshot = freeze(graph)
+        for algorithm in sorted(ALGORITHMS):
+            got = census(snapshot, pattern, k, algorithm=algorithm, matcher="cn")
+            assert got == expected, f"{algorithm} on CSR diverged from dict"
+
+
+class TestParallelAgrees:
+    @settings(max_examples=15)
+    @given(census_cases())
+    def test_two_thread_workers_match_serial(self, case):
+        graph, pattern, k = case
+        expected = reference_counts(graph, pattern, k)
+        for algorithm in sorted(ALGORITHMS):
+            got = parallel_census(
+                graph, pattern, k, algorithm=algorithm, workers=2,
+                executor="thread",
+            )
+            assert got == expected, f"{algorithm} with 2 workers diverged"
+
+    @settings(max_examples=5)
+    @given(census_cases(max_nodes=8))
+    def test_process_pool_matches_serial(self, case):
+        graph, pattern, k = case
+        expected = reference_counts(graph, pattern, k)
+        got = parallel_census(
+            graph, pattern, k, algorithm="nd-pvot", workers=2,
+            executor="process",
+        )
+        assert got == expected

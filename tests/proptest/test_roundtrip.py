@@ -1,0 +1,175 @@
+"""Property-based parser round-trips: ``parse(unparse(ast)) == ast``.
+
+Hypothesis builds query ASTs directly (not text), so the generator
+reaches shapes no hand-written corpus covers — hyphenated pattern
+names, deeply nested WHERE trees, pair queries, EXPLAIN wrappers —
+and the unparser + parser must reproduce every one exactly.  A second
+property checks unparsing is a fixed point over whole scripts.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import ast
+from repro.lang import expressions as ex
+from repro.lang.lexer import KEYWORDS
+from repro.lang.parser import parse_query, parse_script
+from repro.lang.unparse import unparse_query, unparse_script, unparse_statement
+from repro.matching.pattern import Pattern
+
+# -- name/identifier strategies --------------------------------------------
+
+idents = st.from_regex(r"[a-z][a-z0-9_]{0,7}", fullmatch=True).filter(
+    lambda s: s not in KEYWORDS
+)
+name_pieces = idents | st.from_regex(r"[0-9]{1,3}", fullmatch=True)
+pattern_names = st.builds(
+    lambda head, tail: "-".join([head] + tail),
+    idents,
+    st.lists(name_pieces, max_size=2),
+)
+
+# -- query AST strategies ---------------------------------------------------
+
+column_refs = st.builds(
+    ast.ColumnRef, st.none() | idents, idents | st.just("ID")
+)
+id_refs = st.builds(ast.ColumnRef, st.none() | idents, st.just("ID"))
+radii = st.integers(min_value=0, max_value=4)
+
+neighborhoods = st.one_of(
+    st.builds(lambda t, k: ast.Neighborhood("subgraph", [t], k), id_refs, radii),
+    st.builds(
+        lambda kind, t1, t2, k: ast.Neighborhood(kind, [t1, t2], k),
+        st.sampled_from(["intersection", "union"]),
+        id_refs,
+        id_refs,
+        radii,
+    ),
+)
+
+aggregates = st.builds(
+    lambda pattern, hood, sub, out: ast.Aggregate(
+        pattern, hood, subpattern_name=sub, output_name=out
+    ),
+    pattern_names,
+    neighborhoods,
+    st.none() | pattern_names,
+    st.none() | idents,
+)
+
+# Strings may contain one quote character (the unparser switches to the
+# other); both at once is unrepresentable and excluded by the alphabet.
+literal_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=0, max_value=10**9),
+    st.floats(min_value=0, allow_nan=False, allow_infinity=False, allow_subnormal=False),
+    st.text(alphabet="abz XY_09'-#", max_size=8),
+)
+
+BINARY_OPS = [
+    "=", "==", "!=", "<>", "<", "<=", ">", ">=",
+    "+", "-", "*", "/", "%", "and", "or",
+]
+
+expressions = st.recursive(
+    st.one_of(
+        st.builds(ex.Literal, literal_values),
+        st.builds(ex.Column, column_refs),
+        st.builds(ex.Rnd),
+    ),
+    lambda inner: st.one_of(
+        st.builds(ex.Unary, st.sampled_from(["not", "-"]), inner),
+        st.builds(ex.Binary, st.sampled_from(BINARY_OPS), inner, inner),
+    ),
+    max_leaves=8,
+)
+
+order_keys = idents | st.builds(lambda a, b: f"{a}.{b}", idents, idents)
+order_items = st.builds(ast.OrderItem, order_keys, st.booleans())
+
+
+@st.composite
+def select_queries(draw):
+    n_tables = draw(st.integers(min_value=1, max_value=2))
+    # "nodes" is a legal alias: it is what the parser itself assigns to
+    # a lone unaliased table.
+    aliases = draw(
+        st.lists(
+            idents | st.just("nodes"),
+            min_size=n_tables,
+            max_size=n_tables,
+            unique=True,
+        )
+    )
+    tables = [ast.TableRef(a) for a in aliases]
+    columns = draw(
+        st.lists(column_refs | aggregates, min_size=1, max_size=4)
+    )
+    where = draw(st.none() | expressions)
+    order_by = draw(st.lists(order_items, max_size=2))
+    limit = draw(st.none() | st.integers(min_value=0, max_value=1000))
+    return ast.SelectQuery(
+        columns, tables, where=where, order_by=order_by, limit=limit
+    )
+
+
+statements = st.builds(
+    ast.ExplainStatement, select_queries(), analyze=st.booleans()
+) | select_queries()
+
+
+@st.composite
+def patterns(draw):
+    name = draw(pattern_names)
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from("ABCD"),
+                st.sampled_from("ABCD"),
+                st.booleans(),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    p = Pattern(name)
+    for u, v, directed, negated in edges:
+        if u != v:
+            p.add_edge(u, v, directed=directed, negated=negated)
+    if not p.nodes:
+        p.add_node("A")
+    return p
+
+
+# -- properties -------------------------------------------------------------
+
+
+class TestQueryRoundTrip:
+    @settings(max_examples=120)
+    @given(select_queries())
+    def test_parse_of_unparse_is_identity(self, query):
+        text = unparse_query(query)
+        reparsed = parse_query(text)
+        assert reparsed == query
+        assert unparse_query(reparsed) == text
+
+    @settings(max_examples=60)
+    @given(statements)
+    def test_statements_round_trip_through_scripts(self, statement):
+        text = unparse_statement(statement)
+        parsed = parse_script(text)
+        assert len(parsed) == 1
+        assert parsed[0] == statement
+
+
+class TestScriptFixedPoint:
+    @settings(max_examples=40)
+    @given(st.lists(patterns() | select_queries(), min_size=1, max_size=4))
+    def test_unparse_is_a_fixed_point(self, script):
+        text = unparse_script(script)
+        once = parse_script(text)
+        assert len(once) == len(script)
+        assert unparse_script(once) == text

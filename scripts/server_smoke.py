@@ -1,0 +1,192 @@
+"""CI smoke test for the census daemon (``repro serve``).
+
+Boots the real process, then drives the serving contract end to end:
+
+1. ~32 concurrent queries, most of them duplicates, so request
+   coalescing is actually exercised (checked via ``/metrics``);
+2. responses cross-checked against a serial ``QueryEngine`` on the
+   same graph — before and after an update batch, at the version each
+   response names;
+3. a ``/metrics`` scrape that must contain the ``server.*`` family;
+4. ``SIGTERM``, which must drain cleanly: exit code 0, in-flight work
+   finished.
+
+Stdlib only; exits non-zero with a message on the first violation.
+
+Usage: PYTHONPATH=src python scripts/server_smoke.py
+"""
+
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+QUERY = ("SELECT ID, COUNTP(clq3-unlb, SUBGRAPH(ID, 2)) AS c "
+         "FROM nodes ORDER BY c DESC, ID ASC LIMIT 5")
+UPDATE = {"ops": [{"op": "add_edge", "u": 1, "v": 199},
+                  {"op": "add_edge", "u": 2, "v": 198}]}
+
+
+def fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def post(base, path, doc):
+    req = urllib.request.Request(
+        f"{base}{path}", data=json.dumps(doc).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def get(base, path):
+    with urllib.request.urlopen(f"{base}{path}", timeout=60) as resp:
+        return resp.read().decode()
+
+
+def serial_rows(graph_path, ops_batches):
+    """What a serial engine answers after replaying ``ops_batches``."""
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.graph.io import load_json
+    from repro.query.engine import QueryEngine
+
+    graph = load_json(graph_path)
+    engine = QueryEngine(graph, cache=False)
+    expected = {graph.version: [list(r) for r in engine.execute(QUERY).rows]}
+    for batch in ops_batches:
+        for op in batch["ops"]:
+            graph.add_edge(op["u"], op["v"])
+        expected[graph.version] = [list(r) for r in engine.execute(QUERY).rows]
+    return expected
+
+
+def main():
+    tmp = Path(tempfile.mkdtemp(prefix="repro-serve-smoke-"))
+    graph_path = tmp / "g.json"
+    subprocess.run(
+        [sys.executable, "-m", "repro", "generate", str(graph_path),
+         "--nodes", "200", "--m", "3", "--seed", "4"],
+        check=True, env={"PYTHONPATH": str(ROOT / "src")}, cwd=ROOT,
+    )
+    expected = serial_rows(graph_path, [UPDATE])
+
+    proc = subprocess.Popen(
+        # --no-cache so duplicate suppression can only come from
+        # request coalescing, which is what this smoke is for.
+        [sys.executable, "-m", "repro", "serve", str(graph_path),
+         "--port", "0", "--max-active", "2", "--queue-depth", "64",
+         "--no-cache"],
+        env={"PYTHONPATH": str(ROOT / "src")}, cwd=ROOT,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    try:
+        banner = proc.stdout.readline().strip()
+        print(banner)
+        if "http://" not in banner:
+            fail(f"unexpected serve banner: {banner!r}")
+        base = "http://" + banner.split("http://")[1].split(" ")[0]
+
+        deadline = time.monotonic() + 30
+        while True:
+            try:
+                health = json.loads(get(base, "/health"))
+                break
+            except OSError:
+                if time.monotonic() > deadline:
+                    fail("daemon never became healthy")
+                time.sleep(0.1)
+        v0 = health["graph_version"]
+        if v0 not in expected:
+            fail(f"initial version {v0} unknown to the serial replay")
+
+        # -- concurrent duplicate queries: coalescing + consistency ----
+        results = []
+        lock = threading.Lock()
+
+        def one_query():
+            status, doc = post(base, "/query", {"query": QUERY})
+            with lock:
+                results.append((status, doc))
+
+        threads = [threading.Thread(target=one_query) for _ in range(32)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        if len(results) != 32:
+            fail(f"only {len(results)}/32 concurrent queries completed")
+        statuses = sorted({status for status, _ in results})
+        if statuses != [200]:
+            fail(f"expected every concurrent query to succeed, got {statuses}")
+        for _, doc in results:
+            if doc["graph_version"] != v0:
+                fail(f"pre-update response at version {doc['graph_version']}")
+            if doc["rows"] != expected[v0]:
+                fail(f"wrong rows at version {v0}: {doc['rows']}")
+        coalesced = sum(doc["coalesced"] for _, doc in results)
+        print(f"32 concurrent queries ok, {coalesced} coalesced")
+
+        # -- update, then verify the new version is served -------------
+        status, doc = post(base, "/update", UPDATE)
+        if status != 200:
+            fail(f"update failed: {doc}")
+        v1 = doc["graph_version"]
+        if v1 not in expected or v1 == v0:
+            fail(f"post-update version {v1} unknown to the serial replay")
+        status, doc = post(base, "/query", {"query": QUERY})
+        if status != 200 or doc["graph_version"] != v1:
+            fail(f"post-update query did not see version {v1}: {doc}")
+        if doc["rows"] != expected[v1]:
+            fail(f"stale rows served after update: {doc['rows']}")
+        print(f"update applied, version {v0} -> {v1}, fresh rows served")
+
+        # -- metrics scrape --------------------------------------------
+        metrics = get(base, "/metrics")
+        for needle in ("repro_server_requests_total",
+                       "repro_server_coalesced_total",
+                       "repro_server_updates_total 1",
+                       "repro_server_graph_version"):
+            if needle not in metrics:
+                fail(f"/metrics is missing {needle!r}")
+        scraped = next(
+            int(line.split()[1]) for line in metrics.splitlines()
+            if line.startswith("repro_server_coalesced_total ")
+        )
+        if scraped != coalesced:
+            fail(f"coalesced counter {scraped} != responses marked {coalesced}")
+        if coalesced == 0:
+            fail("no query coalesced; the duplicate burst did not overlap")
+        print("metrics scrape ok")
+
+        # -- graceful drain --------------------------------------------
+        proc.send_signal(signal.SIGTERM)
+        try:
+            code = proc.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            fail("daemon did not exit within 60s of SIGTERM")
+        tail = proc.stdout.read()
+        if code != 0:
+            fail(f"daemon exited {code} after SIGTERM:\n{tail}")
+        if "drained" not in tail:
+            fail(f"daemon exited without reporting a drain:\n{tail}")
+        print("SIGTERM drained cleanly")
+        print("server smoke: OK")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    main()

@@ -17,7 +17,7 @@ import random
 
 from repro.census.base import CensusRequest, prepare_matches
 from repro.exec.budget import current_budget
-from repro.graph.traversal import k_hop_distances
+from repro.graph.traversal import bfs_layer_sets
 
 
 def approximate_census(graph, pattern, k, sample_size, focal_nodes=None,
@@ -49,9 +49,15 @@ def approximate_census(graph, pattern, k, sample_size, focal_nodes=None,
     for unit in sample:
         coverage = None
         for m in unit.nodes:
-            reach = set(k_hop_distances(graph, m, k))
-            if budget is not None:
-                budget.tick(len(reach))
+            # Charge the budget layer by layer *inside* the k-hop
+            # expansion (like the other census hot loops) so a deadline
+            # is overshot by at most one BFS layer, never by a whole
+            # hub neighborhood.
+            reach = set()
+            for layer in bfs_layer_sets(graph, m, max_depth=k):
+                if budget is not None:
+                    budget.tick(len(layer))
+                reach |= layer
             coverage = reach if coverage is None else coverage & reach
             if not coverage:
                 break

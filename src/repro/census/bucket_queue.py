@@ -15,19 +15,20 @@ class BucketQueue:
         self._buckets = [[] for _ in range(max_score + 1)]
         self._score = {}
         self._cursor = max_score + 1
-        self._size = 0
 
     def push(self, item, score):
-        """Insert ``item`` or lower its priority to ``score``.
+        """Insert ``item`` at ``score``, or decrease-key a present item.
 
-        Pushing at a score no better than the current one is a no-op.
+        A push at a score *strictly below* the item's current one
+        re-files it (the old bucket entry goes stale and is skipped on
+        pop); a push at an equal or higher score is a no-op.  Items
+        already popped may be re-inserted at any score.
         """
         current = self._score.get(item)
         if current is not None and current <= score:
             return
         self._score[item] = score
         self._buckets[score].append(item)
-        self._size += 1
         if score < self._cursor:
             self._cursor = score
 
@@ -37,7 +38,6 @@ class BucketQueue:
             bucket = self._buckets[self._cursor]
             while bucket:
                 item = bucket.pop()
-                self._size -= 1
                 if self._score.get(item) == self._cursor:
                     del self._score[item]
                     return item, self._cursor

@@ -6,7 +6,9 @@ Subcommands:
 - ``stats`` — print a one-screen summary of a graph file,
 - ``query`` — run a pattern census script against a graph file,
 - ``bulkload`` — convert a JSON graph into a disk-resident store,
-- ``topk`` — print the K egos with the most matches of a pattern.
+- ``topk`` — print the K egos with the most matches of a pattern,
+- ``serve`` — run the concurrent census query daemon (see
+  :mod:`repro.server`).
 
 Examples::
 
@@ -145,6 +147,50 @@ def _cmd_query(args, out):
     return 0
 
 
+def _cmd_serve(args, out):
+    from repro.server import CensusServer
+
+    graph = _load_graph(args.graph)
+    server = CensusServer(
+        graph,
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        workers=args.workers if args.workers != 0 else None,
+        algorithm=args.algorithm,
+        pairwise_algorithm=args.pairwise_algorithm,
+        matcher=args.matcher,
+        seed=args.seed,
+        cache=not args.no_cache,
+        timeout=args.timeout,
+        max_ops=args.budget,
+        max_results=args.max_results,
+        degrade=args.degrade,
+        max_active=args.max_active,
+        queue_depth=args.queue_depth,
+        retry_after=args.retry_after,
+        maintain=args.maintain,
+        maintain_k=args.maintain_k,
+    )
+    if args.patterns:
+        with open(args.patterns) as f:
+            from repro.lang.parser import parse_script
+            from repro.matching.pattern import Pattern
+
+            for statement in parse_script(f.read()):
+                if not isinstance(statement, Pattern):
+                    raise SystemExit(
+                        "--patterns file may only contain PATTERN statements"
+                    )
+                server.engine.catalog.register(statement)
+    print(f"serving {args.graph} on http://{server.host}:{server.port} "
+          f"(graph version {server.state.version}); SIGTERM drains", file=out)
+    out.flush()
+    server.run()
+    print("drained; bye", file=out)
+    return 0
+
+
 def _cmd_bulkload(args, out):
     from repro.storage import DiskGraph
 
@@ -247,6 +293,48 @@ def build_parser():
     query.add_argument("--max-rows", type=int, default=20)
     _add_profile_flags(query)
     query.set_defaults(func=_cmd_query)
+
+    serve = sub.add_parser("serve", help="run the census query daemon")
+    serve.add_argument("graph")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="0 picks a free port (printed at startup)")
+    serve.add_argument("--algorithm", default="auto")
+    serve.add_argument("--pairwise-algorithm", choices=("nd", "pt"), default="nd")
+    serve.add_argument("--matcher", choices=("cn", "gql", "bruteforce"),
+                       default="cn")
+    serve.add_argument("--backend", choices=("dict", "csr"), default="csr",
+                       help="a serving process defaults to CSR snapshots")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="parallel census workers per query (0 = CPU count)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the version-keyed aggregate cache")
+    serve.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                       help="default wall-clock deadline per request")
+    serve.add_argument("--budget", type=int, default=None, metavar="OPS",
+                       help="default work-operation cap per request")
+    serve.add_argument("--max-results", type=int, default=None, metavar="N",
+                       help="default materialized-result cap per request")
+    serve.add_argument("--degrade", action="store_true",
+                       help="degrade blown budgets to partial estimates "
+                            "(200 with partial:true) by default")
+    serve.add_argument("--max-active", type=int, default=4,
+                       help="requests executing concurrently")
+    serve.add_argument("--queue-depth", type=int, default=16,
+                       help="requests allowed to wait for a slot; beyond "
+                            "this the server answers 429")
+    serve.add_argument("--retry-after", type=float, default=1.0,
+                       help="Retry-After seconds suggested on 429")
+    serve.add_argument("--maintain", default=None, metavar="PATTERN",
+                       help="maintain an incremental census of this catalog "
+                            "pattern; updates refresh it in place and "
+                            "GET /counts serves it")
+    serve.add_argument("--maintain-k", type=int, default=2, metavar="K",
+                       help="radius of the maintained census")
+    serve.add_argument("--patterns", default=None, metavar="FILE",
+                       help="script of PATTERN statements to preload")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.set_defaults(func=_cmd_serve)
 
     bulk = sub.add_parser("bulkload", help="convert JSON graph to a disk store")
     bulk.add_argument("graph")

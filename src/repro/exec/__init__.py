@@ -18,7 +18,13 @@ pieces:
 """
 
 from repro.errors import BudgetExceeded, Cancelled, ExecutionError, WorkerCrashed
-from repro.exec.budget import ExecutionBudget, activate_budget, current_budget
+from repro.exec.budget import (
+    SPEC_KEYS,
+    ExecutionBudget,
+    activate_budget,
+    current_budget,
+    validate_spec,
+)
 from repro.exec.faults import (
     SITES,
     Fault,
@@ -39,6 +45,8 @@ __all__ = [
     "ExecutionBudget",
     "activate_budget",
     "current_budget",
+    "validate_spec",
+    "SPEC_KEYS",
     "ExecutionError",
     "BudgetExceeded",
     "Cancelled",

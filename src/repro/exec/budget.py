@@ -50,6 +50,45 @@ def current_budget():
     return _CURRENT_BUDGET.get()
 
 
+#: The keys a budget spec mapping may carry (see :meth:`ExecutionBudget.spec`).
+SPEC_KEYS = ("timeout", "max_ops", "max_results")
+
+
+def validate_spec(spec):
+    """Normalize an untrusted budget-spec mapping.
+
+    The serving layer builds per-request budgets from client-supplied
+    values (headers or JSON body); this funnels them through one
+    validator so a bad request fails *before* a budget is constructed
+    mid-statement.  Returns a clean ``{timeout, max_ops, max_results}``
+    dict, or ``None`` when no limit is set.  Raises :class:`ValueError`
+    on unknown keys, non-numeric values, or non-positive limits.
+    """
+    if spec is None:
+        return None
+    unknown = set(spec) - set(SPEC_KEYS)
+    if unknown:
+        raise ValueError(f"unknown budget keys {sorted(unknown)}; expected {list(SPEC_KEYS)}")
+    out = {}
+    for key in SPEC_KEYS:
+        value = spec.get(key)
+        if value is None:
+            out[key] = None
+            continue
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(f"budget {key} must be a number, got {value!r}")
+        if key != "timeout":
+            if value != int(value):
+                raise ValueError(f"budget {key} must be an integer, got {value!r}")
+            value = int(value)
+        if value <= 0:
+            raise ValueError(f"budget {key} must be positive, got {value!r}")
+        out[key] = value
+    if all(v is None for v in out.values()):
+        return None
+    return out
+
+
 class activate_budget:
     """Context manager making ``budget`` the ambient execution budget.
 

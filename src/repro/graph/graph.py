@@ -27,7 +27,8 @@ class Graph:
         and ``neighbors`` distinguishes in- from out-neighbors.
     """
 
-    __slots__ = ("directed", "_node_attrs", "_succ", "_pred", "_edge_attrs", "_num_edges")
+    __slots__ = ("directed", "_node_attrs", "_succ", "_pred", "_edge_attrs",
+                 "_num_edges", "_version")
 
     def __init__(self, directed=False):
         self.directed = bool(directed)
@@ -38,6 +39,23 @@ class Graph:
         self._pred = {} if self.directed else self._succ
         self._edge_attrs = {}
         self._num_edges = 0
+        self._version = 0
+
+    @property
+    def version(self):
+        """Monotonic mutation counter.
+
+        Bumped by every mutating operation that changes the graph
+        (node/edge insertion or removal, attribute updates through the
+        mutator methods).  Consumers — the query engine's aggregate
+        cache, the serving layer's snapshot protocol — key derived state
+        on this value so a mutated graph can never be mistaken for the
+        one the state was computed from.  Writes through the live dicts
+        returned by :meth:`node_attrs` / :meth:`edge_attrs` bypass the
+        counter; use :meth:`set_node_attr` / :meth:`add_edge` to keep
+        versioned consumers coherent.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # Node operations
@@ -49,8 +67,10 @@ class Graph:
             self._succ[node] = set()
             if self.directed:
                 self._pred[node] = set()
+            self._version += 1
         if attrs:
             self._node_attrs[node].update(attrs)
+            self._version += 1
 
     def remove_node(self, node):
         """Remove ``node`` and all incident edges."""
@@ -64,6 +84,7 @@ class Graph:
         del self._succ[node]
         if self.directed:
             del self._pred[node]
+        self._version += 1
 
     def has_node(self, node):
         return node in self._node_attrs
@@ -85,6 +106,7 @@ class Graph:
     def set_node_attr(self, node, key, value):
         self._require_node(node)
         self._node_attrs[node][key] = value
+        self._version += 1
 
     def label(self, node):
         """Return the node's label attribute (``None`` when unlabeled)."""
@@ -123,8 +145,10 @@ class Graph:
             self._num_edges += 1
             self._succ[u].add(v)
             self._pred[v].add(u)
+            self._version += 1
         if attrs:
             self._edge_attrs[key].update(attrs)
+            self._version += 1
 
     def remove_edge(self, u, v):
         key = self._edge_key(u, v)
@@ -134,6 +158,7 @@ class Graph:
         self._num_edges -= 1
         self._succ[u].discard(v)
         self._pred[v].discard(u)
+        self._version += 1
 
     def has_edge(self, u, v):
         """True if the edge (arc from ``u`` to ``v`` when directed) exists."""

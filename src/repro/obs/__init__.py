@@ -25,8 +25,19 @@ Exports: :func:`repro.obs.export.to_json` and
 CLI ``--profile`` flag are built on this module.
 """
 
-from repro.obs.context import DISABLED, ObsContext, activate, current_obs
-from repro.obs.export import prometheus_name, to_json, to_prometheus
+from repro.obs.context import (
+    DISABLED,
+    MetricsObsContext,
+    ObsContext,
+    activate,
+    current_obs,
+)
+from repro.obs.export import (
+    PROMETHEUS_CONTENT_TYPE,
+    prometheus_name,
+    to_json,
+    to_prometheus,
+)
 from repro.obs.logs import configure_logging, get_logger
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -40,6 +51,7 @@ from repro.obs.trace import Span, format_duration, render_span_tree
 
 __all__ = [
     "ObsContext",
+    "MetricsObsContext",
     "DISABLED",
     "activate",
     "current_obs",
@@ -55,6 +67,7 @@ __all__ = [
     "to_json",
     "to_prometheus",
     "prometheus_name",
+    "PROMETHEUS_CONTENT_TYPE",
     "configure_logging",
     "get_logger",
 ]

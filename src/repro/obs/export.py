@@ -12,6 +12,11 @@ import re
 
 _UNSAFE = re.compile(r"[^a-zA-Z0-9_:]")
 
+#: Content-Type a scrape endpoint must advertise for the text format
+#: emitted by :func:`to_prometheus` (served by ``GET /metrics`` on the
+#: census daemon, :mod:`repro.server`).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
 
 def prometheus_name(name, prefix="repro"):
     """Map a dotted metric name onto the Prometheus grammar."""

@@ -95,13 +95,33 @@ class QueryEngine:
         self.max_ops = max_ops
         self.max_results = max_results
         self.degrade = bool(degrade)
-        # Aggregate-result cache.  Opt-in because it assumes the graph
-        # is not mutated between queries; pattern redefinitions are
-        # handled via the catalog version.
+        self._snapshot_version = self._source_version()
+        # Aggregate-result cache.  Opt-in; entries are keyed on both the
+        # catalog version (pattern redefinitions) and the graph mutation
+        # version (see :attr:`graph_version`), so neither a redefined
+        # pattern nor an in-place graph mutation can be served stale.
         self.cache_enabled = bool(cache)
         self._cache = {}
         self.cache_hits = 0
         self.cache_misses = 0
+
+    def _source_version(self):
+        """Mutation version of the source graph (0 when untracked)."""
+        return getattr(self.base_graph, "version", 0)
+
+    @property
+    def graph_version(self):
+        """Version of the graph data queries currently observe.
+
+        For the dict backend this is the live mutation counter of the
+        source graph; for the CSR backend it is the source version
+        captured when the snapshot was (re-)frozen — a mutation without
+        :meth:`refresh_snapshot` leaves queries on the old snapshot, and
+        this property says so.
+        """
+        if self.backend == "csr":
+            return self._snapshot_version
+        return self._source_version()
 
     def clear_cache(self):
         """Drop cached aggregate results (call after mutating the graph)."""
@@ -111,6 +131,7 @@ class QueryEngine:
         """Re-freeze the source graph (CSR backend) and drop the cache."""
         if self.backend == "csr":
             self.graph = freeze(self.base_graph)
+        self._snapshot_version = self._source_version()
         self.clear_cache()
 
     # ------------------------------------------------------------------
@@ -162,31 +183,47 @@ class QueryEngine:
 
         return explain_analyze(self, query)
 
-    def execute(self, query):
-        """Run one SELECT (text or parsed); returns a ResultTable."""
+    def execute(self, query, budget=None, degrade=None):
+        """Run one SELECT (text or parsed); returns a ResultTable.
+
+        ``budget`` overrides the engine's default per-statement budget
+        for this call only: an :class:`~repro.exec.budget.ExecutionBudget`
+        spec mapping (``timeout`` / ``max_ops`` / ``max_results`` keys)
+        or a ready budget instance.  ``degrade`` likewise overrides the
+        engine-level degradation policy (``None`` keeps it).  The serving
+        layer uses both to honor per-request limits from headers.
+        """
         if isinstance(query, str):
             query = parse_query(query)
         if not isinstance(query, SelectQuery):
             raise QueryError(f"cannot execute {type(query).__name__}")
-        return self._execute_select(query)
+        return self._execute_select(query, budget=budget, degrade=degrade)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def _execute_select(self, query):
+    def _execute_select(self, query, budget=None, degrade=None):
         obs = self.obs if self.obs is not None else current_obs()
         if not obs.enabled:
-            return self._run_select(query, obs)
+            return self._run_select(query, obs, budget, degrade)
         with activate(obs):
             with obs.span("query.execute"):
                 io_before = self._io_snapshot()
                 try:
-                    return self._run_select(query, obs)
+                    return self._run_select(query, obs, budget, degrade)
                 finally:
                     self._record_io_deltas(obs, io_before)
 
-    def _make_budget(self):
-        """A fresh per-statement budget, or ``None`` when unconfigured."""
+    def _make_budget(self, override=None):
+        """A fresh per-statement budget, or ``None`` when unconfigured.
+
+        ``override`` (a spec mapping or an ExecutionBudget) replaces the
+        engine defaults entirely for this statement.
+        """
+        if override is not None:
+            if isinstance(override, ExecutionBudget):
+                return override
+            return ExecutionBudget(**override)
         if self.timeout is None and self.max_ops is None and self.max_results is None:
             return None
         return ExecutionBudget(
@@ -194,7 +231,7 @@ class QueryEngine:
             max_results=self.max_results,
         )
 
-    def _run_select(self, query, obs):
+    def _run_select(self, query, obs, budget_override=None, degrade=None):
         aliases = [t.alias for t in query.tables]
         with obs.span("query.bind"):
             self._validate_references(query, aliases)
@@ -203,7 +240,8 @@ class QueryEngine:
         # One budget per statement; entering it makes it ambient so the
         # matching/census hot loops pick it up.  Unconfigured engines
         # leave whatever budget the caller activated in force.
-        budget = self._make_budget()
+        budget = self._make_budget(budget_override)
+        degrade = self.degrade if degrade is None else bool(degrade)
         with budget if budget is not None else nullcontext():
             with obs.span("query.scan") as scan_span:
                 if query.is_pair_query:
@@ -219,7 +257,7 @@ class QueryEngine:
             for agg in query.aggregates():
                 with obs.span("query.aggregate", output=agg.output_name) as agg_span:
                     values, outcome = self._evaluate_aggregate(
-                        agg, aliases, bindings
+                        agg, aliases, bindings, degrade
                     )
                     aggregate_values[id(agg)] = values
                     if outcome is not None and outcome.partial:
@@ -351,7 +389,7 @@ class QueryEngine:
             return 0
         return aliases.index(ref.alias)
 
-    def _evaluate_aggregate(self, agg, aliases, bindings):
+    def _evaluate_aggregate(self, agg, aliases, bindings, degrade=None):
         """Map each row binding to its aggregate count.
 
         Returns ``(values, outcome)``: ``values`` maps bindings to
@@ -361,6 +399,7 @@ class QueryEngine:
         """
         pattern = self.catalog.get(agg.pattern_name)
         hood = agg.neighborhood
+        degrade = self.degrade if degrade is None else degrade
 
         if hood.kind == "subgraph":
             target = hood.targets[0]
@@ -378,7 +417,7 @@ class QueryEngine:
                     algorithm=self.algorithm,
                     matcher=self.matcher,
                     workers=self.workers,
-                    degrade=self.degrade,
+                    degrade=degrade,
                     seed=self.seed,
                 ),
             )
@@ -407,7 +446,11 @@ class QueryEngine:
     def _cached(self, key, compute):
         if not self.cache_enabled:
             return compute()
-        key = key + (self.catalog.version,)
+        # The catalog version invalidates on pattern redefinition; the
+        # graph version invalidates on any in-place mutation, so
+        # ``cache=True`` plus a mutation without ``refresh_snapshot()``
+        # can no longer silently serve pre-mutation counts.
+        key = key + (self.catalog.version, self.graph_version)
         obs = current_obs()
         try:
             value = self._cache[key]

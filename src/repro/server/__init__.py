@@ -1,0 +1,47 @@
+"""The census serving layer: a concurrent query daemon.
+
+Puts the engine behind a long-running process (``repro serve``) built
+from four cooperating pieces:
+
+- :mod:`repro.server.app` — :class:`CensusServer`, the stdlib
+  ``ThreadingHTTPServer`` daemon: ``POST /query``, ``POST /update``,
+  ``GET /counts``, ``GET /metrics``, ``GET /health``, graceful drain;
+- :mod:`repro.server.state` — versioned graph state under a
+  writer-preferring read/write lock, with mutations routed through a
+  maintained :class:`~repro.census.IncrementalCensus` when configured;
+- :mod:`repro.server.coalescing` — single-flight execution of
+  concurrent identical queries (keyed on canonical query text + graph
+  version + limits);
+- :mod:`repro.server.admission` — bounded execute/wait slots, 429 +
+  ``Retry-After`` on saturation, drain support.
+
+The serving invariants, enforced across these pieces:
+
+1. **No stale version is ever served.**  Every response names the graph
+   version it was computed at; queries hold the read lock for their
+   whole execution and all derived state (aggregate cache, coalesced
+   flights) is keyed on the version.
+2. **Identical concurrent queries execute once.**  Verified by the
+   ``server.coalesced`` counter against census-layer counters.
+3. **Budgets degrade, saturation rejects.**  A blown budget is 503 (or
+   200-with-partial when degradation is on); a full queue is 429 with
+   ``Retry-After``; draining is 503.
+"""
+
+from repro.server.admission import AdmissionController, Draining, Saturated
+from repro.server.app import CensusServer, ServerDefaults
+from repro.server.coalescing import Coalescer
+from repro.server.protocol import BadRequest
+from repro.server.state import GraphState, ReadWriteLock
+
+__all__ = [
+    "CensusServer",
+    "ServerDefaults",
+    "AdmissionController",
+    "Saturated",
+    "Draining",
+    "Coalescer",
+    "GraphState",
+    "ReadWriteLock",
+    "BadRequest",
+]

@@ -1,0 +1,133 @@
+"""Admission control: a bounded execute-plus-wait pool for the daemon.
+
+The census daemon runs one thread per connection (stdlib
+``ThreadingHTTPServer``), so without a gate a traffic burst turns into
+an unbounded pile of concurrent censuses all thrashing the same cores.
+:class:`AdmissionController` imposes the classic two-stage bound:
+
+- at most ``max_active`` requests *execute* at once, and
+- at most ``queue_depth`` more may *wait* for an execution slot;
+
+anything beyond that is rejected immediately with :class:`Saturated`,
+which the HTTP layer maps to ``429 Too Many Requests`` plus a
+``Retry-After`` hint.  Rejecting at the door keeps rejection cheap
+(microseconds) exactly when the server is busiest, and bounds the
+worst-case queueing latency a client can experience to roughly
+``queue_depth / max_active`` census durations.
+
+Draining (``SIGTERM``) flips the controller into a refuse-new/finish
+old mode: :meth:`begin_drain` makes further :meth:`acquire` calls raise
+:class:`Draining` (mapped to 503) while :meth:`wait_idle` blocks until
+every admitted request has released its slot.
+"""
+
+import threading
+from contextlib import contextmanager
+
+
+class Saturated(Exception):
+    """Both the execution slots and the wait queue are full."""
+
+    def __init__(self, active, waiting, retry_after):
+        super().__init__(
+            f"server saturated: {active} executing, {waiting} queued"
+        )
+        self.retry_after = retry_after
+
+
+class Draining(Exception):
+    """The server is draining and admits no new work."""
+
+
+class AdmissionController:
+    """Bounded executing + waiting slots with drain support.
+
+    Parameters
+    ----------
+    max_active:
+        Requests allowed to execute concurrently.
+    queue_depth:
+        Additional requests allowed to wait for a slot; ``0`` rejects
+        the moment all execution slots are busy.
+    retry_after:
+        Seconds suggested to rejected clients (the 429 ``Retry-After``
+        header).
+    """
+
+    def __init__(self, max_active, queue_depth=0, retry_after=1.0):
+        if max_active < 1:
+            raise ValueError(f"max_active must be >= 1, got {max_active}")
+        if queue_depth < 0:
+            raise ValueError(f"queue_depth must be >= 0, got {queue_depth}")
+        self.max_active = max_active
+        self.queue_depth = queue_depth
+        self.retry_after = retry_after
+        self._cond = threading.Condition()
+        self._active = 0
+        self._waiting = 0
+        self._draining = False
+
+    # -- admission ------------------------------------------------------
+    def acquire(self):
+        """Take an execution slot, waiting in the bounded queue if needed.
+
+        Raises :class:`Saturated` when the queue is full and
+        :class:`Draining` once :meth:`begin_drain` has been called.
+        """
+        with self._cond:
+            if self._draining:
+                raise Draining("server is draining")
+            if self._active >= self.max_active:
+                if self._waiting >= self.queue_depth:
+                    raise Saturated(self._active, self._waiting, self.retry_after)
+                self._waiting += 1
+                try:
+                    while self._active >= self.max_active:
+                        self._cond.wait()
+                        if self._draining:
+                            raise Draining("server is draining")
+                finally:
+                    self._waiting -= 1
+            self._active += 1
+
+    def release(self):
+        with self._cond:
+            self._active -= 1
+            self._cond.notify_all()
+
+    @contextmanager
+    def slot(self):
+        """``with controller.slot():`` — acquire around a request body."""
+        self.acquire()
+        try:
+            yield
+        finally:
+            self.release()
+
+    # -- introspection --------------------------------------------------
+    @property
+    def active(self):
+        return self._active
+
+    @property
+    def waiting(self):
+        return self._waiting
+
+    @property
+    def draining(self):
+        return self._draining
+
+    # -- drain ----------------------------------------------------------
+    def begin_drain(self):
+        """Refuse new admissions; queued-but-unadmitted requests fail too."""
+        with self._cond:
+            self._draining = True
+            self._cond.notify_all()
+
+    def wait_idle(self, timeout=None):
+        """Block until every admitted request released its slot.
+
+        Returns ``True`` when idle, ``False`` on timeout.
+        """
+        with self._cond:
+            return self._cond.wait_for(lambda: self._active == 0, timeout=timeout)

@@ -1,0 +1,157 @@
+"""Versioned graph state shared by the daemon's request threads.
+
+The serving contract is **no stale version is ever served**: every
+query response names the graph version it was computed at, and that
+version must be the server's current one for the whole execution.  Two
+pieces enforce it:
+
+- a :class:`ReadWriteLock`: queries hold the read side while they
+  execute, mutations take the write side — so a mutation can never
+  slide under a running census, and a query can never observe a
+  half-applied batch of updates;
+- the **graph mutation version** (:attr:`repro.graph.Graph.version`,
+  surfaced as :attr:`QueryEngine.graph_version`), bumped by every
+  mutation and baked into cache and coalescing keys.
+
+Mutations are routed through :class:`repro.census.IncrementalCensus`
+when the server maintains one (the maintained counts then update with
+work proportional to the affected region, amortizing updates the same
+way coalescing amortizes queries) and finish with
+``engine.refresh_snapshot()`` so a CSR-backed engine re-freezes and the
+aggregate cache drops entries for the old version.
+"""
+
+import threading
+
+from repro.errors import GraphError, QueryError
+
+
+class ReadWriteLock:
+    """Many concurrent readers or one writer, writer-preferring.
+
+    Writers announce themselves before blocking, and new readers queue
+    behind announced writers — a steady query stream therefore cannot
+    starve updates.  Not reentrant on either side.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self):
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self):
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self):
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self):
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    def read(self):
+        return _Side(self.acquire_read, self.release_read)
+
+    def write(self):
+        return _Side(self.acquire_write, self.release_write)
+
+
+class _Side:
+    __slots__ = ("_acquire", "_release")
+
+    def __init__(self, acquire, release):
+        self._acquire = acquire
+        self._release = release
+
+    def __enter__(self):
+        self._acquire()
+        return self
+
+    def __exit__(self, *exc):
+        self._release()
+        return False
+
+
+#: Mutation operations POST /update accepts, mapped to appliers.
+UPDATE_OPS = ("add_node", "add_edge", "remove_edge", "remove_node")
+
+
+class GraphState:
+    """The daemon's single source of truth: graph + engine + lock.
+
+    Parameters
+    ----------
+    engine:
+        The shared :class:`~repro.query.engine.QueryEngine`; its
+        ``base_graph`` is the mutable graph updates apply to.
+    maintained:
+        Optional :class:`~repro.census.IncrementalCensus` over the same
+        graph.  When present, edge/node mutations are routed *through*
+        it (so its embeddings and counts stay current incrementally)
+        instead of hitting the graph directly.
+    """
+
+    def __init__(self, engine, maintained=None):
+        self.engine = engine
+        self.graph = engine.base_graph
+        self.maintained = maintained
+        self.lock = ReadWriteLock()
+
+    @property
+    def version(self):
+        """The graph version queries currently observe."""
+        return self.engine.graph_version
+
+    def read(self):
+        """Shared-lock scope for query execution."""
+        return self.lock.read()
+
+    def apply(self, ops):
+        """Apply a batch of mutations atomically; returns the new version.
+
+        The whole batch runs under the write lock and ends with one
+        ``refresh_snapshot()``, so concurrent queries see either the
+        pre-batch or the post-batch graph, never a prefix.
+        """
+        with self.lock.write():
+            for op in ops:
+                self._apply_one(op)
+            self.engine.refresh_snapshot()
+            return self.engine.graph_version
+
+    def _apply_one(self, op):
+        kind = op["op"]
+        target = self.maintained if self.maintained is not None else self.graph
+        if kind == "add_node":
+            target.add_node(op["node"], **op.get("attrs", {}))
+        elif kind == "add_edge":
+            target.add_edge(op["u"], op["v"], **op.get("attrs", {}))
+        elif kind == "remove_edge":
+            target.remove_edge(op["u"], op["v"])
+        elif kind == "remove_node":
+            if self.maintained is not None:
+                raise QueryError(
+                    "remove_node is not supported while a maintained "
+                    "census is configured"
+                )
+            self.graph.remove_node(op["node"])
+        else:  # protocol validation should have caught this
+            raise GraphError(f"unknown update op {kind!r}")

@@ -38,6 +38,7 @@ class DiskGraph:
         self.directed = pager.directed
         self._directory = {}
         self._num_edges = 0
+        self._version = 0
         self._record_cache = OrderedDict()
         self._record_cache_cap = max(1, record_cache)
         if pager.dir_offset:
@@ -151,7 +152,19 @@ class DiskGraph:
             self._record_cache.popitem(last=False)
         return rec
 
+    @property
+    def version(self):
+        """Monotonic mutation counter (process-local, not persisted).
+
+        Every record write — node/edge insertion, attribute update —
+        bumps it, mirroring :attr:`repro.graph.Graph.version` so
+        version-keyed consumers (the engine's aggregate cache, the
+        serving layer) work identically over disk-resident graphs.
+        """
+        return self._version
+
     def _write_record(self, node, rec):
+        self._version += 1
         offset = self._log.append_json(rec)
         self._directory[node] = offset
         self._record_cache[node] = rec

@@ -1,5 +1,6 @@
 """Tests for sampling-based approximate census."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -94,3 +95,71 @@ class TestSampleSizePlanner:
     def test_degenerate_inputs(self):
         assert sample_size_for_error(0, 1.0) == 0
         assert sample_size_for_error(50, -1) == 50
+
+
+class TestBudgetTickOrdering:
+    """The k-hop expansions must charge the ambient budget per BFS layer,
+    not once after the whole neighborhood is materialized."""
+
+    @staticmethod
+    def edge_pattern():
+        p = Pattern("e")
+        p.add_edge("A", "B")
+        return p
+
+    @staticmethod
+    def hub_tree(mids=10, leaves_per_mid=29):
+        """A two-level hub tree: one hub, ``mids`` spokes, leafy fringe."""
+        g = Graph()
+        node = 1
+        for _ in range(mids):
+            mid = node
+            node += 1
+            g.add_edge(0, mid)
+            for _ in range(leaves_per_mid):
+                g.add_edge(mid, node)
+                node += 1
+        return g
+
+    def test_charges_are_layer_sized(self):
+        from repro.exec.budget import ExecutionBudget
+
+        class RecordingBudget(ExecutionBudget):
+            def __init__(self, **kw):
+                super().__init__(**kw)
+                self.charges = []
+
+            def tick(self, n=1):
+                self.charges.append(n)
+                super().tick(n)
+
+        g = Graph()
+        for leaf in range(1, 6):
+            g.add_edge(0, leaf)  # star: hub 0, 5 leaves
+        budget = RecordingBudget()
+        with budget:
+            approximate_census(g, self.edge_pattern(), 1, sample_size=10 ** 6)
+        # The expansion loop runs after matching, so its charges are the
+        # trailing ones: 5 edge units x 2 endpoints x the per-layer
+        # charges of a 1-hop BFS ([1, 5] from the hub, [1, 1] from a
+        # leaf).  Charged per layer, the biggest expansion charge is the
+        # 5-leaf frontier — never the full 6-node reach in one post-hoc
+        # tick.
+        expansion = budget.charges[-20:]
+        assert set(expansion) == {1, 5}
+        assert expansion.count(5) == 5  # one hub frontier per unit
+
+    def test_tight_budget_stops_within_one_layer(self):
+        from repro.errors import BudgetExceeded
+        from repro.exec.budget import ExecutionBudget
+
+        g = self.hub_tree()
+        budget = ExecutionBudget(max_ops=2)
+        with budget:
+            with pytest.raises(BudgetExceeded):
+                approximate_census(g, self.edge_pattern(), 3, sample_size=10 ** 6)
+        # With per-layer charging the first expansion aborts after at
+        # most source + one frontier (<= 1 + max degree = 31 ops); the
+        # old post-expansion tick charged a full 3-hop reach, which in
+        # this tree is at least 40 nodes from *any* origin.
+        assert budget.ops <= 32

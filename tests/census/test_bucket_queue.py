@@ -58,6 +58,40 @@ class TestBucketQueue:
         q.push("a", 1)  # stale entry at 3
         assert len(q) == 1
 
+    def test_live_size_exact_through_repush_and_stale_pops(self):
+        # Regression for the removed ``_size`` counter, which drifted on
+        # decrease-key re-pushes (counted twice) and stale pops (counted
+        # as removals): len()/bool must track *live* entries exactly at
+        # every step of a re-push + stale-pop sequence.
+        q = BucketQueue(10)
+        q.push("a", 8)
+        q.push("b", 6)
+        assert len(q) == 2
+        q.push("a", 2)  # decrease-key: stale entry left at 8
+        q.push("b", 1)  # decrease-key: stale entry left at 6
+        assert len(q) == 2 and bool(q)
+        assert q.pop() == ("b", 1)
+        assert len(q) == 1
+        assert q.pop() == ("a", 2)
+        # Only stale entries remain in the buckets now.
+        assert len(q) == 0 and not q
+        # Re-inserting after the live pop must make it live again even
+        # though its stale twin is still buried at score 8.
+        q.push("a", 9)
+        assert len(q) == 1
+        assert q.pop() == ("a", 9)
+        assert len(q) == 0 and not q
+        with pytest.raises(IndexError):
+            q.pop()
+
+    def test_equal_score_repush_is_noop(self):
+        q = BucketQueue(5)
+        q.push("a", 3)
+        q.push("a", 3)  # equal score: guard ignores it, no stale entry
+        assert len(q) == 1
+        assert q.pop() == ("a", 3)
+        assert not q
+
     def test_zero_score_range(self):
         q = BucketQueue(0)
         q.push("a", 0)

@@ -181,3 +181,50 @@ class TestCopy:
         g = Graph()
         g.add_edge(1, 2)
         assert "nodes=2" in repr(g) and "edges=1" in repr(g)
+
+
+class TestMutationVersion:
+    """The monotonic mutation counter version-keyed consumers rely on."""
+
+    def test_starts_at_zero_and_bumps_on_mutation(self):
+        g = Graph()
+        assert g.version == 0
+        g.add_node(1)
+        v1 = g.version
+        assert v1 > 0
+        g.add_edge(1, 2)
+        assert g.version > v1
+
+    def test_noop_add_node_does_not_bump(self):
+        g = Graph()
+        g.add_node(1)
+        v = g.version
+        g.add_node(1)  # already present, no attrs
+        assert g.version == v
+
+    def test_noop_readd_edge_does_not_bump(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        v = g.version
+        g.add_edge(1, 2)  # no attrs to merge
+        assert g.version == v
+
+    def test_attribute_updates_bump(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        v = g.version
+        g.set_node_attr(1, "label", "A")
+        assert g.version > v
+        v = g.version
+        g.add_edge(1, 2, w=3)  # attr merge on an existing edge
+        assert g.version > v
+
+    def test_removals_bump(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        v = g.version
+        g.remove_edge(1, 2)
+        assert g.version > v
+        v = g.version
+        g.remove_node(1)
+        assert g.version > v

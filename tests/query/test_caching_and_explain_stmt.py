@@ -126,17 +126,43 @@ class TestCacheCorrectness:
         assert counts[0] == counts[1] == counts[2] == 1
         assert eng.cache_misses == 2  # both evaluations were real
 
-    def test_stale_without_clear_cache_documents_the_contract(self):
-        # The cache assumes an immutable graph; without clear_cache()
-        # a mutated graph is served stale results.  This is the
-        # documented contract clear_cache() exists for.
+    def test_in_place_mutation_invalidates_without_clear_cache(self):
+        # Regression: the cache key includes the graph mutation version,
+        # so mutating the graph in place (no clear_cache(), no
+        # refresh_snapshot()) must yield fresh counts, not the cached
+        # pre-mutation ones.
+        g = self.path_graph()
+        eng = QueryEngine(g, cache=True)
+        before = eng.execute(self.TRI_Q)
+        assert all(row[1] == 0 for row in before)
+        g.add_edge(0, 2)  # close a triangle behind the cache's back
+        after = eng.execute(self.TRI_Q)
+        counts = {row[0]: row[1] for row in after}
+        assert counts[0] == counts[1] == counts[2] == 1
+        assert eng.cache_hits == 0 and eng.cache_misses == 2
+
+    def test_unmutated_graph_still_hits_cache(self):
         g = self.path_graph()
         eng = QueryEngine(g, cache=True)
         eng.execute(self.TRI_Q)
-        g.add_edge(0, 2)
-        stale = eng.execute(self.TRI_Q)
-        assert all(row[1] == 0 for row in stale)
+        eng.execute(self.TRI_Q)
         assert eng.cache_hits == 1
+
+    def test_csr_backend_cache_follows_snapshot_version(self):
+        # With the CSR backend queries observe the frozen snapshot, so
+        # the cache stays valid (and hot) until refresh_snapshot()
+        # re-freezes — at which point fresh counts must be computed.
+        g = self.path_graph()
+        eng = QueryEngine(g, backend="csr", cache=True)
+        eng.execute(self.TRI_Q)
+        g.add_edge(0, 2)
+        still_snapshot = eng.execute(self.TRI_Q)  # old snapshot, cache ok
+        assert all(row[1] == 0 for row in still_snapshot)
+        assert eng.cache_hits == 1
+        eng.refresh_snapshot()
+        fresh = eng.execute(self.TRI_Q)
+        counts = {row[0]: row[1] for row in fresh}
+        assert counts[0] == counts[1] == counts[2] == 1
 
     def test_catalog_version_bump_invalidates(self):
         g = self.path_graph()

@@ -271,3 +271,44 @@ class TestBackendAndWorkers:
                               "--backend", "csr", "--workers", "4"])
         assert code == 0
         assert "workers=4 (focal chunks over a worker pool)" in text
+
+
+class TestExitCodeContract:
+    """The degradation contract at the CLI boundary.
+
+    A blown budget without ``--degrade`` is an *error*: exit 2 plus a
+    hint pointing at the flag.  With ``--degrade`` the same run is a
+    *success*: exit 0 with the result visibly marked partial.  Scripts
+    and CI jobs branch on these codes, so they are a contract, not an
+    implementation detail.
+    """
+
+    @pytest.fixture
+    def graph_file(self, tmp_path):
+        path = tmp_path / "g.json"
+        run_cli(["generate", str(path), "--nodes", "60", "--m", "3", "--seed", "9"])
+        return str(path)
+
+    QUERY = ("SELECT ID, COUNTP(clq3-unlb, SUBGRAPH(ID, 2)) AS c "
+             "FROM nodes ORDER BY c DESC, ID ASC LIMIT 3")
+
+    def test_blown_budget_without_degrade_exits_2_with_hint(self, graph_file):
+        code, text = run_cli(["query", graph_file, "--budget", "3",
+                              "-e", self.QUERY])
+        assert code == 2
+        assert "error:" in text
+        assert "--degrade" in text, "the error must point at the way out"
+        assert "[partial result]" not in text
+
+    def test_blown_budget_with_degrade_exits_0_marked_partial(self, graph_file):
+        code, text = run_cli(["query", graph_file, "--budget", "3", "--degrade",
+                              "-e", self.QUERY])
+        assert code == 0
+        assert "[partial result]" in text
+        assert "error:" not in text
+
+    def test_ample_budget_exits_0_unmarked(self, graph_file):
+        code, text = run_cli(["query", graph_file, "--budget", "100000000",
+                              "-e", self.QUERY])
+        assert code == 0
+        assert "[partial result]" not in text

@@ -1,0 +1,126 @@
+"""Unit tests for the admission controller."""
+
+import threading
+
+import pytest
+
+from repro.server import AdmissionController, Draining, Saturated
+
+
+class TestSlots:
+    def test_acquire_release_bookkeeping(self):
+        ctl = AdmissionController(max_active=2)
+        assert ctl.active == 0
+        ctl.acquire()
+        ctl.acquire()
+        assert ctl.active == 2
+        ctl.release()
+        assert ctl.active == 1
+        ctl.release()
+        assert ctl.active == 0
+
+    def test_saturated_when_queue_empty(self):
+        ctl = AdmissionController(max_active=1, queue_depth=0, retry_after=2.5)
+        ctl.acquire()
+        with pytest.raises(Saturated) as exc:
+            ctl.acquire()
+        assert exc.value.retry_after == 2.5
+        assert "1 executing" in str(exc.value)
+        # The failed acquire must not leak a slot.
+        ctl.release()
+        ctl.acquire()
+        ctl.release()
+
+    def test_queued_request_waits_then_runs(self):
+        ctl = AdmissionController(max_active=1, queue_depth=1)
+        ctl.acquire()
+        entered = threading.Event()
+
+        def queued():
+            ctl.acquire()
+            entered.set()
+            ctl.release()
+
+        t = threading.Thread(target=queued)
+        t.start()
+        # The second request queues rather than failing...
+        assert not entered.wait(timeout=0.05)
+        assert ctl.waiting == 1
+        # ...and proceeds once the slot frees.
+        ctl.release()
+        assert entered.wait(timeout=5)
+        t.join(timeout=5)
+        assert ctl.active == 0 and ctl.waiting == 0
+
+    def test_queue_overflow_is_rejected(self):
+        ctl = AdmissionController(max_active=1, queue_depth=1)
+        ctl.acquire()
+        waiter_in = threading.Event()
+        orig_wait = ctl._cond.wait
+
+        def traced_wait(*args, **kwargs):
+            waiter_in.set()
+            return orig_wait(*args, **kwargs)
+
+        ctl._cond.wait = traced_wait
+        t = threading.Thread(target=ctl.acquire)
+        t.start()
+        assert waiter_in.wait(timeout=5)
+        with pytest.raises(Saturated):
+            ctl.acquire()  # queue slot taken -> reject at the door
+        ctl.release()
+        t.join(timeout=5)
+
+    def test_slot_context_releases_on_error(self):
+        ctl = AdmissionController(max_active=1)
+        with pytest.raises(RuntimeError):
+            with ctl.slot():
+                assert ctl.active == 1
+                raise RuntimeError("boom")
+        assert ctl.active == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_active=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_active=1, queue_depth=-1)
+
+
+class TestDrain:
+    def test_drain_refuses_new_work(self):
+        ctl = AdmissionController(max_active=4)
+        ctl.begin_drain()
+        assert ctl.draining
+        with pytest.raises(Draining):
+            ctl.acquire()
+
+    def test_drain_wakes_queued_waiters_with_draining(self):
+        ctl = AdmissionController(max_active=1, queue_depth=2)
+        ctl.acquire()
+        results = []
+
+        def queued():
+            try:
+                ctl.acquire()
+                results.append("admitted")
+            except Draining:
+                results.append("drained")
+
+        t = threading.Thread(target=queued)
+        t.start()
+        # Wait until the thread is actually parked in the queue.
+        for _ in range(500):
+            if ctl.waiting == 1:
+                break
+            threading.Event().wait(0.01)
+        ctl.begin_drain()
+        t.join(timeout=5)
+        assert results == ["drained"]
+        assert ctl.waiting == 0
+
+    def test_wait_idle(self):
+        ctl = AdmissionController(max_active=2)
+        ctl.acquire()
+        assert ctl.wait_idle(timeout=0.05) is False
+        threading.Timer(0.05, ctl.release).start()
+        assert ctl.wait_idle(timeout=5) is True

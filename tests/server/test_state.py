@@ -1,0 +1,120 @@
+"""Unit tests for the read/write lock and versioned graph state."""
+
+import threading
+
+import pytest
+
+from repro.errors import QueryError
+from repro.graph import Graph
+from repro.query.engine import QueryEngine
+from repro.server import GraphState, ReadWriteLock
+
+
+def path_graph(n):
+    g = Graph()
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+class TestReadWriteLock:
+    def test_readers_share(self):
+        lock = ReadWriteLock()
+        with lock.read():
+            acquired = threading.Event()
+
+            def second_reader():
+                with lock.read():
+                    acquired.set()
+
+            t = threading.Thread(target=second_reader)
+            t.start()
+            assert acquired.wait(timeout=5)
+            t.join(timeout=5)
+
+    def test_writer_excludes_readers(self):
+        lock = ReadWriteLock()
+        lock.acquire_write()
+        got_read = threading.Event()
+        t = threading.Thread(target=lambda: (lock.acquire_read(), got_read.set()))
+        t.start()
+        assert not got_read.wait(timeout=0.05)
+        lock.release_write()
+        assert got_read.wait(timeout=5)
+        lock.release_read()
+        t.join(timeout=5)
+
+    def test_waiting_writer_blocks_new_readers(self):
+        """Writer preference: a steady read stream cannot starve writers."""
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        writer_got = threading.Event()
+        late_reader_got = threading.Event()
+
+        writer = threading.Thread(
+            target=lambda: (lock.acquire_write(), writer_got.set())
+        )
+        writer.start()
+        for _ in range(500):
+            if lock._writers_waiting == 1:
+                break
+            threading.Event().wait(0.01)
+
+        late_reader = threading.Thread(
+            target=lambda: (lock.acquire_read(), late_reader_got.set())
+        )
+        late_reader.start()
+        # The late reader queues behind the announced writer.
+        assert not late_reader_got.wait(timeout=0.05)
+
+        lock.release_read()
+        assert writer_got.wait(timeout=5), "writer runs before the late reader"
+        assert not late_reader_got.is_set()
+        lock.release_write()
+        assert late_reader_got.wait(timeout=5)
+        lock.release_read()
+        writer.join(timeout=5)
+        late_reader.join(timeout=5)
+
+
+class TestGraphState:
+    def test_apply_bumps_version_atomically(self):
+        g = path_graph(4)
+        state = GraphState(QueryEngine(g))
+        before = state.version
+        after = state.apply([
+            {"op": "add_edge", "u": 0, "v": 2},
+            {"op": "add_edge", "u": 0, "v": 3},
+        ])
+        assert after == state.version
+        assert after == before + 2
+        assert g.has_edge(0, 2) and g.has_edge(0, 3)
+
+    def test_apply_refreshes_csr_snapshot(self):
+        g = path_graph(4)
+        engine = QueryEngine(g, backend="csr")
+        state = GraphState(engine)
+        q = "SELECT ID, COUNTP(clq3-unlb, SUBGRAPH(ID, 1)) AS c FROM nodes ORDER BY ID"
+        assert all(c == 0 for _, c in engine.execute(q).rows)
+        state.apply([{"op": "add_edge", "u": 0, "v": 2}])
+        counts = dict(engine.execute(q).rows)
+        assert counts[1] == 1, "the frozen snapshot must follow the update"
+
+    def test_maintained_census_routes_updates(self):
+        from repro.census.incremental import IncrementalCensus
+
+        g = path_graph(4)
+        engine = QueryEngine(g)
+        maintained = IncrementalCensus(
+            g, engine.catalog.get("clq3-unlb"), 1, matcher="cn"
+        )
+        state = GraphState(engine, maintained=maintained)
+        assert maintained.num_embeddings() == 0
+        state.apply([{"op": "add_edge", "u": 0, "v": 2}])
+        # The new edge closes the triangle {0, 1, 2}; the maintained
+        # census saw it because the update went *through* it.
+        assert maintained.num_embeddings() > 0
+        assert set(maintained.snapshot()) >= {0, 1, 2}
+        assert g.has_edge(0, 2)
+        with pytest.raises(QueryError, match="remove_node"):
+            state.apply([{"op": "remove_node", "node": 3}])

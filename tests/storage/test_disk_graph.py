@@ -136,3 +136,22 @@ class TestAlgorithmParity:
             disk.neighbors(n)
         stats = disk.cache_stats()
         assert stats["hits"] + stats["misses"] > 0
+
+
+class TestMutationVersion:
+    def test_version_bumps_on_writes_and_not_on_reads(self, tmp_path):
+        store = DiskGraph.create(tmp_path / "g.db")
+        assert store.version == 0
+        store.add_node(1, label="A")
+        v = store.version
+        assert v > 0
+        store.node_attrs(1)  # reads leave the counter alone
+        assert store.version == v
+        store.add_edge(1, 2)
+        assert store.version > v
+        v = store.version
+        store.add_node(1)  # no-op: node exists, no attrs
+        assert store.version == v
+        store.set_node_attr(1, "label", "B")
+        assert store.version > v
+        store.close()

@@ -7,9 +7,20 @@ Boots the real process, then drives the serving contract end to end:
 2. responses cross-checked against a serial ``QueryEngine`` on the
    same graph — before and after an update batch, at the version each
    response names;
-3. a ``/metrics`` scrape that must contain the ``server.*`` family;
-4. ``SIGTERM``, which must drain cleanly: exit code 0, in-flight work
+3. telemetry under load: every response names its request, a sampled
+   trace is retrievable at ``/debug/traces/<id>`` with stitched
+   per-chunk spans (the server runs ``--workers 2``), slow queries
+   (``--slow-query-ms 1``) land in ``/debug/slow`` with an
+   EXPLAIN ANALYZE plan and in the JSONL log, and ``/debug/requests``
+   stays well-formed while the burst is in flight;
+4. a ``/metrics`` scrape that must contain the ``server.*`` family and
+   cumulative labeled latency-histogram buckets;
+5. ``SIGTERM``, which must drain cleanly: exit code 0, in-flight work
    finished.
+
+When ``REPRO_SMOKE_ARTIFACTS`` names a directory, the slow-query JSONL
+and the final metrics scrape are copied there (CI uploads them as
+workflow artifacts).
 
 Stdlib only; exits non-zero with a message on the first violation.
 
@@ -17,6 +28,7 @@ Usage: PYTHONPATH=src python scripts/server_smoke.py
 """
 
 import json
+import os
 import signal
 import subprocess
 import sys
@@ -75,6 +87,7 @@ def serial_rows(graph_path, ops_batches):
 def main():
     tmp = Path(tempfile.mkdtemp(prefix="repro-serve-smoke-"))
     graph_path = tmp / "g.json"
+    slow_log = tmp / "slow.jsonl"
     subprocess.run(
         [sys.executable, "-m", "repro", "generate", str(graph_path),
          "--nodes", "200", "--m", "3", "--seed", "4"],
@@ -85,9 +98,14 @@ def main():
     proc = subprocess.Popen(
         # --no-cache so duplicate suppression can only come from
         # request coalescing, which is what this smoke is for.
+        # --workers 2 so served traces must contain stitched per-chunk
+        # spans; sampling at 1.0 and a 1ms slow threshold so the debug
+        # endpoints have something to serve.
         [sys.executable, "-m", "repro", "serve", str(graph_path),
          "--port", "0", "--max-active", "2", "--queue-depth", "64",
-         "--no-cache"],
+         "--no-cache", "--workers", "2",
+         "--trace-sample-rate", "1", "--slow-query-ms", "1",
+         "--slow-query-log", str(slow_log)],
         env={"PYTHONPATH": str(ROOT / "src")}, cwd=ROOT,
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
     )
@@ -113,18 +131,33 @@ def main():
 
         # -- concurrent duplicate queries: coalescing + consistency ----
         results = []
+        inflight_polls = []
         lock = threading.Lock()
+        burst_done = threading.Event()
 
         def one_query():
             status, doc = post(base, "/query", {"query": QUERY})
             with lock:
                 results.append((status, doc))
 
+        def poll_inflight():
+            # /debug/requests must answer well-formed documents while
+            # the burst is actually executing.
+            while not burst_done.is_set():
+                doc = json.loads(get(base, "/debug/requests"))
+                with lock:
+                    inflight_polls.append(doc)
+                time.sleep(0.02)
+
+        poller = threading.Thread(target=poll_inflight)
+        poller.start()
         threads = [threading.Thread(target=one_query) for _ in range(32)]
         for t in threads:
             t.start()
         for t in threads:
             t.join(timeout=120)
+        burst_done.set()
+        poller.join(timeout=30)
         if len(results) != 32:
             fail(f"only {len(results)}/32 concurrent queries completed")
         statuses = sorted({status for status, _ in results})
@@ -135,8 +168,80 @@ def main():
                 fail(f"pre-update response at version {doc['graph_version']}")
             if doc["rows"] != expected[v0]:
                 fail(f"wrong rows at version {v0}: {doc['rows']}")
+            if len(doc.get("request_id") or "") != 16:
+                fail(f"response without a request_id: {doc.keys()}")
+            if not doc.get("trace_id", "").startswith(doc["request_id"]):
+                fail("trace_id does not extend request_id")
+            if doc.get("sampled") is not True:
+                fail("sample rate 1.0 but response not marked sampled")
         coalesced = sum(doc["coalesced"] for _, doc in results)
         print(f"32 concurrent queries ok, {coalesced} coalesced")
+
+        for doc in inflight_polls:
+            if not isinstance(doc.get("in_flight"), list):
+                fail(f"/debug/requests malformed under load: {doc}")
+            for entry in doc["in_flight"]:
+                if "request_id" not in entry or "age_ms" not in entry:
+                    fail(f"in-flight entry missing fields: {entry}")
+        seen_inflight = max(
+            (len(doc["in_flight"]) for doc in inflight_polls), default=0
+        )
+        print(f"/debug/requests polled {len(inflight_polls)}x under load, "
+              f"peak {seen_inflight} in flight")
+
+        # -- sampled trace retrieval + stitched chunk spans ------------
+        request_id = results[0][1]["request_id"]
+        listing = json.loads(get(base, "/debug/traces"))
+        listed = {t["request_id"] for t in listing["traces"]}
+        if request_id not in listed:
+            fail(f"request {request_id} missing from /debug/traces")
+        trace = json.loads(get(base, f"/debug/traces/{request_id}"))
+        names = set()
+
+        def walk(span):
+            names.add(span["name"])
+            for child in span["children"]:
+                walk(child)
+
+        walk(trace["spans"])
+        for needle in ("server.request", "query.execute"):
+            if needle not in names:
+                fail(f"served trace lacks the {needle} span: {sorted(names)}")
+        # The leader of the burst ran the census with --workers 2, so at
+        # least one retained trace must carry stitched per-chunk spans.
+        stitched = False
+        for summary in listing["traces"]:
+            doc = json.loads(get(base, f"/debug/traces/{summary['request_id']}"))
+            chunk_names = set()
+            walk_target = doc.get("spans")
+            if walk_target:
+                stack = [walk_target]
+                while stack:
+                    span = stack.pop()
+                    chunk_names.add(span["name"])
+                    stack.extend(span["children"])
+            if "census.parallel.chunk" in chunk_names:
+                stitched = True
+                break
+        if not stitched:
+            fail("no retained trace carries stitched census.parallel.chunk spans")
+        print("sampled trace retrieved with stitched per-chunk spans")
+
+        # -- slow-query capture ----------------------------------------
+        slow = json.loads(get(base, "/debug/slow"))
+        if not slow["slow"]:
+            fail("1ms slow threshold captured nothing from a census burst")
+        record = slow["slow"][0]
+        if not record.get("plan") or "CENSUS" not in record["plan"]:
+            fail(f"slow record lacks an EXPLAIN ANALYZE plan: {record.get('plan')!r}")
+        if not slow_log.exists() or not slow_log.read_text().strip():
+            fail(f"slow-query JSONL log {slow_log} is empty")
+        for line in slow_log.read_text().splitlines():
+            parsed = json.loads(line)
+            if "request_id" not in parsed or "duration_ms" not in parsed:
+                fail(f"slow-log line missing fields: {sorted(parsed)}")
+        print(f"slow-query capture ok ({len(slow['slow'])} in ring, "
+              f"{len(slow_log.read_text().splitlines())} logged)")
 
         # -- update, then verify the new version is served -------------
         status, doc = post(base, "/update", UPDATE)
@@ -168,7 +273,24 @@ def main():
             fail(f"coalesced counter {scraped} != responses marked {coalesced}")
         if coalesced == 0:
             fail("no query coalesced; the duplicate burst did not overlap")
-        print("metrics scrape ok")
+        for needle in ('repro_server_request_seconds_bucket{',
+                       'le="+Inf"',
+                       'repro_server_request_seconds_sum{',
+                       'repro_server_request_seconds_count{',
+                       'endpoint="query"'):
+            if needle not in metrics:
+                fail(f"/metrics lacks labeled latency histograms: {needle!r}")
+        print("metrics scrape ok (labeled latency buckets present)")
+
+        # -- artifact export for CI ------------------------------------
+        artifacts = os.environ.get("REPRO_SMOKE_ARTIFACTS")
+        if artifacts:
+            out = Path(artifacts)
+            out.mkdir(parents=True, exist_ok=True)
+            (out / "metrics.prom").write_text(metrics)
+            (out / "slow.jsonl").write_text(slow_log.read_text())
+            (out / "traces.json").write_text(json.dumps(listing, indent=2))
+            print(f"artifacts exported to {out}")
 
         # -- graceful drain --------------------------------------------
         proc.send_signal(signal.SIGTERM)

@@ -52,7 +52,7 @@ from repro.errors import CensusError
 from repro.exec.budget import ExecutionBudget, activate_budget, current_budget
 from repro.exec.faults import active_plan, arm_process, fault_point, mark_worker_process
 from repro.matching import find_matches
-from repro.obs import ObsContext, current_obs
+from repro.obs import ObsContext, Span, current_obs, detach_spans
 
 # nd-bas matches inside each extracted ego subgraph, so there is no
 # global match list to share; every other algorithm adopts ``matches=``.
@@ -93,12 +93,17 @@ def _run_chunk_inline(graph, pattern, k, algorithm_fn, chunk, subpattern,
                       budget_spec=None):
     """Run one chunk under a private ObsContext.
 
-    Returns ``(counts, counters, elapsed, stats)``; ``stats`` is the
-    chunk's private ``collect_stats`` dict (``None`` unless requested).
-    A mutable dict from the caller cannot be written to directly — it
-    would never cross a process boundary, and successive chunks would
-    overwrite each other — so each chunk fills a fresh one and the
-    parent merges them.
+    Returns ``(counts, counters, elapsed, stats, spans)``; ``stats`` is
+    the chunk's private ``collect_stats`` dict (``None`` unless
+    requested) and ``spans`` the chunk's serialized span roots
+    (:meth:`~repro.obs.trace.Span.to_dict` documents, so they survive
+    the process boundary).  A mutable dict from the caller cannot be
+    written to directly — it would never cross a process boundary, and
+    successive chunks would overwrite each other — so each chunk fills
+    a fresh one and the parent merges them.  ``detach_spans`` suspends
+    any open parent span for the same reason: a serial (same-thread)
+    chunk must record into its private context exactly like a pool
+    worker, so the parent can stitch every executor's chunks uniformly.
 
     ``budget_spec`` rebuilds and activates a fresh budget around the
     chunk (thread and process chunks do not see the parent's ambient
@@ -115,7 +120,7 @@ def _run_chunk_inline(graph, pattern, k, algorithm_fn, chunk, subpattern,
     )
     ctx = ObsContext()
     start = time.perf_counter()
-    with governed, ctx:
+    with governed, detach_spans(), ctx:
         kwargs = dict(options)
         if matches is not None:
             kwargs["matches"] = matches
@@ -129,7 +134,8 @@ def _run_chunk_inline(graph, pattern, k, algorithm_fn, chunk, subpattern,
         )
     elapsed = time.perf_counter() - start
     counters = dict(ctx.registry.snapshot()["counters"])
-    return counts, counters, elapsed, stats
+    spans = [root.to_dict() for root in ctx.roots]
+    return counts, counters, elapsed, stats, spans
 
 
 def _merge_stats(target, chunk_stats):
@@ -256,13 +262,13 @@ def parallel_census(graph, pattern, k, focal_nodes=None, subpattern=None,
         counts = {}
         merged = {}
         chunk_seconds = []
-        for chunk_counts, counters, elapsed, _ in results:
+        for chunk_counts, counters, elapsed, _, _ in results:
             counts.update(chunk_counts)
             chunk_seconds.append(elapsed)
             for name, value in counters.items():
                 merged[name] = merged.get(name, 0) + value
         if collect_stats is not None:
-            _merge_stats(collect_stats, [stats for _, _, _, stats in results])
+            _merge_stats(collect_stats, [stats for _, _, _, stats, _ in results])
         if obs.enabled:
             for name in sorted(merged):
                 obs.add(name, merged[name])
@@ -272,7 +278,29 @@ def parallel_census(graph, pattern, k, focal_nodes=None, subpattern=None,
                 obs.observe("census.parallel.chunk_seconds", elapsed)
             span.set("chunks", len(focal_chunks))
             span.set("workers", workers)
+            _stitch_chunk_spans(span, focal_chunks, results)
         return counts
+
+
+def _stitch_chunk_spans(parent_span, focal_chunks, results):
+    """Reattach each chunk's serialized span subtree under the parent.
+
+    Every chunk — serial, thread, or pool-worker — recorded into a
+    private context and shipped its span roots back as plain dicts;
+    here each becomes one ``census.parallel.chunk`` child of the
+    ``census.parallel`` span, so parallel plans show per-chunk timing.
+    Rebuilt spans keep only relative time (``start_time=0``): absolute
+    ``perf_counter`` values are meaningless across processes.
+    """
+    for index, (_, _, elapsed, _, span_docs) in enumerate(results):
+        chunk_span = Span(
+            "census.parallel.chunk",
+            {"chunk": index, "focal_nodes": len(focal_chunks[index])},
+        )
+        chunk_span.start_time = 0.0
+        chunk_span.end_time = elapsed
+        chunk_span.children = [Span.from_dict(doc) for doc in span_docs]
+        parent_span.children.append(chunk_span)
 
 
 def _execute(executor, workers, graph, pattern, k, fn, algorithm, focal_chunks,

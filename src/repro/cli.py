@@ -171,6 +171,11 @@ def _cmd_serve(args, out):
         retry_after=args.retry_after,
         maintain=args.maintain,
         maintain_k=args.maintain_k,
+        trace_sample_rate=args.trace_sample_rate,
+        slow_query_ms=args.slow_query_ms,
+        slow_query_log=args.slow_query_log,
+        trace_buffer=args.trace_buffer,
+        slow_buffer=args.slow_buffer,
     )
     if args.patterns:
         with open(args.patterns) as f:
@@ -331,6 +336,21 @@ def build_parser():
                             "GET /counts serves it")
     serve.add_argument("--maintain-k", type=int, default=2, metavar="K",
                        help="radius of the maintained census")
+    serve.add_argument("--trace-sample-rate", type=float, default=0.0,
+                       metavar="RATE",
+                       help="fraction of requests (0..1) whose full span tree "
+                            "is retained for GET /debug/traces")
+    serve.add_argument("--slow-query-ms", type=float, default=None,
+                       metavar="MS",
+                       help="capture requests slower than this to GET "
+                            "/debug/slow with their EXPLAIN ANALYZE plan "
+                            "(default: disabled)")
+    serve.add_argument("--slow-query-log", default=None, metavar="FILE",
+                       help="append captured slow queries to this JSONL file")
+    serve.add_argument("--trace-buffer", type=int, default=256, metavar="N",
+                       help="retained-trace ring-buffer capacity")
+    serve.add_argument("--slow-buffer", type=int, default=64, metavar="N",
+                       help="slow-query ring-buffer capacity")
     serve.add_argument("--patterns", default=None, metavar="FILE",
                        help="script of PATTERN statements to preload")
     serve.add_argument("--seed", type=int, default=0)

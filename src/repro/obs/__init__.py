@@ -31,6 +31,8 @@ from repro.obs.context import (
     ObsContext,
     activate,
     current_obs,
+    current_span,
+    detach_spans,
 )
 from repro.obs.export import (
     PROMETHEUS_CONTENT_TYPE,
@@ -41,26 +43,40 @@ from repro.obs.export import (
 from repro.obs.logs import configure_logging, get_logger
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     Timer,
 )
+from repro.obs.telemetry import (
+    RequestObsContext,
+    RequestTrace,
+    Telemetry,
+    current_request,
+)
 from repro.obs.trace import Span, format_duration, render_span_tree
 
 __all__ = [
     "ObsContext",
     "MetricsObsContext",
+    "RequestObsContext",
     "DISABLED",
     "activate",
     "current_obs",
+    "current_span",
+    "current_request",
+    "detach_spans",
+    "Telemetry",
+    "RequestTrace",
     "MetricsRegistry",
     "Counter",
     "Gauge",
     "Histogram",
     "Timer",
     "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
     "Span",
     "render_span_tree",
     "format_duration",

@@ -88,6 +88,32 @@ def current_obs():
     return _CURRENT_OBS.get()
 
 
+def current_span():
+    """The innermost open :class:`Span`, or ``None``."""
+    return _CURRENT_SPAN.get()
+
+
+class detach_spans:
+    """Context manager suspending the open span for the enclosed region.
+
+    Work done inside starts its own span roots instead of nesting under
+    the caller's open span.  Used by the parallel census executor so an
+    inline (serial / same-thread) chunk records into its private chunk
+    context exactly like a pool worker would, and the chunk subtrees can
+    be stitched back uniformly afterwards.
+    """
+
+    __slots__ = ("_token",)
+
+    def __enter__(self):
+        self._token = _CURRENT_SPAN.set(None)
+        return self
+
+    def __exit__(self, *exc):
+        _CURRENT_SPAN.reset(self._token)
+        return False
+
+
 class activate:
     """Context manager making ``ctx`` the ambient observability context."""
 
@@ -130,7 +156,7 @@ class _SpanScope:
     def __exit__(self, *exc):
         span = self._span.finish()
         _CURRENT_SPAN.reset(self._token)
-        self._ctx.registry.timer("span." + span.name).observe(span.duration)
+        self._ctx._span_finished(span)
         return False
 
 
@@ -162,6 +188,14 @@ class ObsContext:
 
     def set_gauge(self, name, value):
         self.registry.gauge(name).set(value)
+
+    def _span_finished(self, span):
+        """Hook called by the span scope on exit; records the timer.
+
+        Subclasses override to tee timings elsewhere (the per-request
+        telemetry context mirrors them into the daemon registry).
+        """
+        self.registry.timer("span." + span.name).observe(span.duration)
 
     # -- activation -----------------------------------------------------
     def __enter__(self):

@@ -10,6 +10,8 @@ underscored names with a configurable prefix
 import json
 import re
 
+from repro.obs.metrics import split_label_key
+
 _UNSAFE = re.compile(r"[^a-zA-Z0-9_:]")
 
 #: Content-Type a scrape endpoint must advertise for the text format
@@ -33,30 +35,62 @@ def to_json(registry, indent=None):
     return json.dumps(registry.snapshot(), indent=indent, default=repr)
 
 
+def _render_labels(labels, extra=None):
+    """``{k="v",...}`` for a series (empty string when unlabeled)."""
+    pairs = list(sorted(labels.items())) if labels else []
+    if extra:
+        pairs += list(extra.items())
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _escape_label(value):
+    return str(value).replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
 def to_prometheus(registry, prefix="repro"):
     """The registry in the Prometheus text exposition format.
 
     Counters get a ``_total`` suffix; histograms emit cumulative
-    ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+    ``_bucket{le=...}`` series (``+Inf`` included) plus ``_sum`` and
+    ``_count``.  Registry keys carrying labels (``name{k=v}``) become
+    labeled series of one family; the ``# TYPE`` header is emitted once
+    per family, before its first series.
     """
     snap = registry.snapshot()
     lines = []
-    for name, value in snap["counters"].items():
+    typed = set()
+
+    def _type_line(pname, kind):
+        if pname not in typed:
+            typed.add(pname)
+            lines.append(f"# TYPE {pname} {kind}")
+
+    for key, value in snap["counters"].items():
+        name, labels = split_label_key(key)
         pname = prometheus_name(name, prefix) + "_total"
-        lines.append(f"# TYPE {pname} counter")
-        lines.append(f"{pname} {value}")
-    for name, value in snap["gauges"].items():
+        _type_line(pname, "counter")
+        lines.append(f"{pname}{_render_labels(labels)} {value}")
+    for key, value in snap["gauges"].items():
+        name, labels = split_label_key(key)
         pname = prometheus_name(name, prefix)
-        lines.append(f"# TYPE {pname} gauge")
-        lines.append(f"{pname} {value}")
-    for name, hist in snap["histograms"].items():
-        pname = prometheus_name(name, prefix) + "_seconds"
-        lines.append(f"# TYPE {pname} histogram")
+        _type_line(pname, "gauge")
+        lines.append(f"{pname}{_render_labels(labels)} {value}")
+    for key, hist in snap["histograms"].items():
+        name, labels = split_label_key(key)
+        pname = prometheus_name(name, prefix)
+        if not pname.endswith("_seconds"):
+            pname += "_seconds"
+        _type_line(pname, "histogram")
         cumulative = 0
         for bound, count in hist["buckets"]:
             cumulative += count
-            lines.append(f'{pname}_bucket{{le="{bound}"}} {cumulative}')
-        lines.append(f'{pname}_bucket{{le="+Inf"}} {hist["count"]}')
-        lines.append(f"{pname}_sum {hist['sum']}")
-        lines.append(f"{pname}_count {hist['count']}")
+            le = _render_labels(labels, {"le": bound})
+            lines.append(f"{pname}_bucket{le} {cumulative}")
+        inf = _render_labels(labels, {"le": "+Inf"})
+        lines.append(f"{pname}_bucket{inf} {hist['count']}")
+        lines.append(f"{pname}_sum{_render_labels(labels)} {hist['sum']}")
+        lines.append(f"{pname}_count{_render_labels(labels)} {hist['count']}")
     return "\n".join(lines) + ("\n" if lines else "")

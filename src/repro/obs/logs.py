@@ -22,6 +22,38 @@ _LEVELS = {
 }
 
 
+class _RequestContextFilter(logging.Filter):
+    """Stamp every record with the in-flight request's identity.
+
+    ``record.request_id`` / ``record.trace_id`` are always set (empty
+    strings outside a request) so formats may reference them directly;
+    ``record.request_ctx`` is a pre-rendered `` request_id=... trace_id=...``
+    suffix that collapses to ``""`` outside a request, letting the
+    default format stay clean for CLI runs.  The telemetry import is
+    deferred: logging must work even if the obs package is mid-import.
+    """
+
+    def filter(self, record):
+        trace = None
+        try:
+            from repro.obs.telemetry import current_request
+
+            trace = current_request()
+        except Exception:  # pragma: no cover - import-order defence
+            pass
+        if trace is not None:
+            record.request_id = trace.request_id
+            record.trace_id = trace.trace_id
+            record.request_ctx = (
+                f" request_id={trace.request_id} trace_id={trace.trace_id}"
+            )
+        else:
+            record.request_id = ""
+            record.trace_id = ""
+            record.request_ctx = ""
+        return True
+
+
 def configure_logging(level="info", stream=None, fmt=None):
     """Attach a stream handler to the ``repro`` logger at ``level``.
 
@@ -44,8 +76,11 @@ def configure_logging(level="info", stream=None, fmt=None):
             logger.removeHandler(handler)
     handler = logging.StreamHandler(stream)
     handler._repro_configured = True
+    handler.addFilter(_RequestContextFilter())
     handler.setFormatter(
-        logging.Formatter(fmt or "%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+        logging.Formatter(
+            fmt or "%(asctime)s %(levelname)-7s %(name)s%(request_ctx)s: %(message)s"
+        )
     )
     logger.addHandler(handler)
     logger.setLevel(resolved)

@@ -12,6 +12,15 @@ registry is negligible next to the work it measures.
 Metric names are dotted paths (``census.nd_pvot.bulk_added``); the
 export layer (:mod:`repro.obs.export`) maps them to JSON documents and
 Prometheus text-format families.
+
+Instruments may carry **labels** — a small, fixed-cardinality mapping
+(``{"endpoint": "query", "backend": "csr"}``) identifying one series of
+a family.  Labeled instruments are registered under the rendered key
+``name{k=v,...}`` (sorted by label name), so a registry snapshot stays a
+flat name-keyed dict and exporters recover the family/series split from
+the key.  Keep label value sets tiny and bounded — a label per request
+would turn the registry into the unbounded memory leak the daemon's
+:class:`~repro.obs.context.MetricsObsContext` exists to avoid.
 """
 
 import threading
@@ -23,6 +32,37 @@ DEFAULT_BUCKETS = (
     0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
     0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
 )
+
+# Fixed log-scaled buckets for request latency histograms: four buckets
+# per decade from 100 us to 100 s.  Log spacing keeps the relative
+# quantile-estimation error constant across the range (a p99 of 3 ms
+# and a p99 of 30 s are resolved equally well), and a *fixed* layout
+# keeps every endpoint x algorithm x backend series mergeable and
+# comparable across processes and scrapes.
+LATENCY_BUCKETS = tuple(
+    round(10.0 ** (exponent / 4.0), 6) for exponent in range(-16, 9)
+)
+
+
+def render_label_key(name, labels):
+    """The registry key for ``name`` under ``labels`` (``None`` -> name)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def split_label_key(key):
+    """Invert :func:`render_label_key`: ``(base name, labels dict)``."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, inner = key.partition("{")
+    labels = {}
+    for part in inner[:-1].split(","):
+        if part:
+            k, _, v = part.partition("=")
+            labels[k] = v
+    return name, labels
 
 
 class Counter:
@@ -112,6 +152,34 @@ class Histogram:
     def mean(self):
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q):
+        """Estimate the ``q``-quantile (0..1) from the bucket counts.
+
+        Linear interpolation inside the winning bucket, the standard
+        Prometheus ``histogram_quantile`` estimate.  Observations that
+        landed in the ``+Inf`` bucket are reported as the recorded
+        ``max`` (finite, and a better bound than infinity).  Returns
+        ``None`` for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            total = self.count
+            if total == 0:
+                return None
+            rank = q * total
+            cumulative = 0
+            for i, bound in enumerate(self.buckets):
+                in_bucket = self.bucket_counts[i]
+                if cumulative + in_bucket >= rank:
+                    lower = self.buckets[i - 1] if i else 0.0
+                    if in_bucket == 0:
+                        return bound
+                    fraction = (rank - cumulative) / in_bucket
+                    return lower + (bound - lower) * fraction
+                cumulative += in_bucket
+            return self.max
+
     def __repr__(self):
         return f"<Histogram {self.name} count={self.count} sum={self.sum:.6f}>"
 
@@ -170,29 +238,32 @@ class MetricsRegistry:
         self._histograms = {}
 
     # -- instrument accessors (lazy creation) ---------------------------
-    def counter(self, name):
-        c = self._counters.get(name)
+    def counter(self, name, labels=None):
+        key = render_label_key(name, labels)
+        c = self._counters.get(key)
         if c is None:
             with self._lock:
-                c = self._counters.setdefault(name, Counter(name))
+                c = self._counters.setdefault(key, Counter(key))
         return c
 
-    def gauge(self, name):
-        g = self._gauges.get(name)
+    def gauge(self, name, labels=None):
+        key = render_label_key(name, labels)
+        g = self._gauges.get(key)
         if g is None:
             with self._lock:
-                g = self._gauges.setdefault(name, Gauge(name))
+                g = self._gauges.setdefault(key, Gauge(key))
         return g
 
-    def histogram(self, name, buckets=DEFAULT_BUCKETS):
-        h = self._histograms.get(name)
+    def histogram(self, name, buckets=DEFAULT_BUCKETS, labels=None):
+        key = render_label_key(name, labels)
+        h = self._histograms.get(key)
         if h is None:
             with self._lock:
-                h = self._histograms.setdefault(name, Histogram(name, buckets))
+                h = self._histograms.setdefault(key, Histogram(key, buckets))
         return h
 
-    def timer(self, name, buckets=DEFAULT_BUCKETS):
-        return Timer(self.histogram(name, buckets))
+    def timer(self, name, buckets=DEFAULT_BUCKETS, labels=None):
+        return Timer(self.histogram(name, buckets, labels=labels))
 
     # -- read side ------------------------------------------------------
     def counters(self):
@@ -218,6 +289,9 @@ class MetricsRegistry:
                         "max": h.max,
                         "buckets": list(zip(h.buckets, h.bucket_counts)),
                         "inf": h.bucket_counts[-1],
+                        "p50": h.quantile(0.50),
+                        "p95": h.quantile(0.95),
+                        "p99": h.quantile(0.99),
                     }
                     for n, h in sorted(self._histograms.items())
                 },

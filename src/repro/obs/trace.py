@@ -84,6 +84,24 @@ class Span:
             "children": [c.to_dict() for c in self.children],
         }
 
+    @classmethod
+    def from_dict(cls, doc):
+        """Rebuild a finished span tree from :meth:`to_dict` output.
+
+        Used to stitch spans recorded in pool workers back into the
+        parent trace: absolute ``perf_counter`` values don't survive a
+        process boundary, so the rebuilt span keeps only the duration
+        (``start_time=0``, ``end_time=duration``).
+        """
+        span = cls.__new__(cls)
+        span.name = doc["name"]
+        span.attrs = dict(doc.get("attrs") or {})
+        span.metrics = dict(doc.get("metrics") or {})
+        span.start_time = 0.0
+        span.end_time = float(doc.get("duration_s") or 0.0)
+        span.children = [cls.from_dict(c) for c in doc.get("children") or []]
+        return span
+
     def __repr__(self):
         state = "open" if self.end_time is None else f"{self.duration * 1e3:.2f}ms"
         return f"<Span {self.name} {state} children={len(self.children)}>"

@@ -21,7 +21,7 @@ from repro.lang.catalog import PatternCatalog, standard_patterns
 from repro.lang.expressions import evaluate_where, expression_columns
 from repro.lang.parser import parse_query, parse_script
 from repro.matching.pattern import Pattern
-from repro.obs import activate, current_obs, get_logger
+from repro.obs import activate, current_obs, current_request, get_logger
 from repro.query.result import ResultTable
 
 logger = get_logger("repro.query.engine")
@@ -207,7 +207,10 @@ class QueryEngine:
         if not obs.enabled:
             return self._run_select(query, obs, budget, degrade)
         with activate(obs):
-            with obs.span("query.execute"):
+            with obs.span("query.execute") as span:
+                trace = current_request()
+                if trace is not None:
+                    span.set("request_id", trace.request_id)
                 io_before = self._io_snapshot()
                 try:
                     return self._run_select(query, obs, budget, degrade)

@@ -183,11 +183,29 @@ def explain_analyze(engine, query):
         engine.obs = saved_obs
 
     root = ctx.roots[0] if ctx.roots else None
+    return render_analyzed_plan(engine, query, root, ctx.registry)
+
+
+def render_analyzed_plan(engine, query, root, registry):
+    """Annotate ``query``'s plan from an already-recorded trace.
+
+    ``root`` is the ``query.execute`` span of an execution that has
+    *already happened* (``None`` renders the static plan) and
+    ``registry`` the metrics registry that execution recorded into.
+    This is the replay half of ``EXPLAIN ANALYZE``: the serving path's
+    slow-query capture uses it to produce a full analyzed plan for the
+    request that was just slow, without running the query a second
+    time.
+    """
+    if isinstance(query, str):
+        from repro.lang.parser import parse_query
+
+        query = parse_query(query)
     lines = []
     for line in explain_query(engine, query).splitlines():
         lines.append(_annotate_plan_line(line, root))
     if root is not None:
-        lines.extend(_execution_summary(root, ctx))
+        lines.extend(_execution_summary(root, registry))
     return "\n".join(lines)
 
 
@@ -237,14 +255,14 @@ def _aggregate_actuals(span):
     return "; " + ", ".join(parts)
 
 
-def _execution_summary(root, ctx):
+def _execution_summary(root, registry):
     lines = []
     metrics = root.subtree_metrics()
     hits = metrics.get("query.aggregate_cache.hits", 0)
     misses = metrics.get("query.aggregate_cache.misses", 0)
     if hits or misses:
         lines.append(f"AGGREGATE CACHE: {hits} hits, {misses} misses")
-    chunk_hist = ctx.registry.histograms().get("census.parallel.chunk_seconds")
+    chunk_hist = registry.histograms().get("census.parallel.chunk_seconds")
     if chunk_hist is not None and chunk_hist.count:
         lines.append(
             f"PARALLEL: {metrics.get('census.parallel.chunks', chunk_hist.count)} "

@@ -15,6 +15,12 @@ from four cooperating pieces:
 - :mod:`repro.server.admission` — bounded execute/wait slots, 429 +
   ``Retry-After`` on saturation, drain support.
 
+Request telemetry (:mod:`repro.obs.telemetry`) threads through all of
+them: every request gets an ID and a span tree, sampled trees are
+served at ``GET /debug/traces``, slow requests at ``GET /debug/slow``
+with a replayed ``EXPLAIN ANALYZE`` plan, and in-flight requests at
+``GET /debug/requests``.
+
 The serving invariants, enforced across these pieces:
 
 1. **No stale version is ever served.**  Every response names the graph

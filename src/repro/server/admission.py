@@ -22,6 +22,7 @@ every admitted request has released its slot.
 """
 
 import threading
+import time
 from contextlib import contextmanager
 
 
@@ -71,24 +72,31 @@ class AdmissionController:
     def acquire(self):
         """Take an execution slot, waiting in the bounded queue if needed.
 
-        Raises :class:`Saturated` when the queue is full and
-        :class:`Draining` once :meth:`begin_drain` has been called.
+        Returns the seconds spent queued for the slot (``0.0`` when one
+        was free) so the caller can attribute admission wait separately
+        from execution time.  Raises :class:`Saturated` when the queue
+        is full and :class:`Draining` once :meth:`begin_drain` has been
+        called.
         """
         with self._cond:
             if self._draining:
                 raise Draining("server is draining")
-            if self._active >= self.max_active:
-                if self._waiting >= self.queue_depth:
-                    raise Saturated(self._active, self._waiting, self.retry_after)
-                self._waiting += 1
-                try:
-                    while self._active >= self.max_active:
-                        self._cond.wait()
-                        if self._draining:
-                            raise Draining("server is draining")
-                finally:
-                    self._waiting -= 1
+            if self._active < self.max_active:
+                self._active += 1
+                return 0.0
+            if self._waiting >= self.queue_depth:
+                raise Saturated(self._active, self._waiting, self.retry_after)
+            started = time.perf_counter()
+            self._waiting += 1
+            try:
+                while self._active >= self.max_active:
+                    self._cond.wait()
+                    if self._draining:
+                        raise Draining("server is draining")
+            finally:
+                self._waiting -= 1
             self._active += 1
+            return time.perf_counter() - started
 
     def release(self):
         with self._cond:
@@ -97,10 +105,11 @@ class AdmissionController:
 
     @contextmanager
     def slot(self):
-        """``with controller.slot():`` — acquire around a request body."""
-        self.acquire()
+        """``with controller.slot() as waited:`` — acquire around a
+        request body, yielding the queued seconds from :meth:`acquire`."""
+        waited = self.acquire()
         try:
-            yield
+            yield waited
         finally:
             self.release()
 

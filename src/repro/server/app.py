@@ -28,16 +28,21 @@ then stop the listener.
 """
 
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import BudgetExceeded, CensusError, GraphError, QueryError
 from repro.obs import (
     PROMETHEUS_CONTENT_TYPE,
     MetricsObsContext,
+    Telemetry,
     get_logger,
+    to_json,
     to_prometheus,
 )
 from repro.query.engine import QueryEngine
+from repro.query.explain import render_analyzed_plan
 from repro.server.admission import AdmissionController, Draining, Saturated
 from repro.server.coalescing import Coalescer
 from repro.server.protocol import (
@@ -101,18 +106,35 @@ class CensusServer:
         maintained :class:`~repro.census.IncrementalCensus`; updates
         then refresh its counts incrementally and ``GET /counts``
         serves them.
+    trace_sample_rate, slow_query_ms, slow_query_log, trace_buffer, slow_buffer:
+        Request telemetry (see :class:`~repro.obs.telemetry.Telemetry`):
+        the fraction of requests whose full span tree is retained for
+        ``GET /debug/traces``, the slow-query capture threshold in
+        milliseconds (``None`` disables), an optional JSONL path that
+        slow captures append to, and the two ring-buffer capacities.
     """
 
     def __init__(self, graph, host="127.0.0.1", port=8080, backend="csr",
                  workers=1, algorithm="auto", pairwise_algorithm="nd",
                  matcher="cn", seed=0, cache=True, timeout=None, max_ops=None,
                  max_results=None, degrade=False, max_active=4, queue_depth=16,
-                 retry_after=1.0, maintain=None, maintain_k=2, obs=None):
+                 retry_after=1.0, maintain=None, maintain_k=2, obs=None,
+                 trace_sample_rate=0.0, slow_query_ms=None, slow_query_log=None,
+                 trace_buffer=256, slow_buffer=64):
         self.obs = obs if obs is not None else MetricsObsContext()
+        self.telemetry = Telemetry(
+            registry=self.obs.registry, sample_rate=trace_sample_rate,
+            slow_query_ms=slow_query_ms, slow_log_path=slow_query_log,
+            trace_buffer=trace_buffer, slow_buffer=slow_buffer,
+            labels={"algorithm": algorithm, "backend": backend},
+        )
+        # The engine gets no pinned obs context: each request activates
+        # its own RequestObsContext (which tees into ``self.obs``'s
+        # registry), and pinning would make the engine ignore it.
         self.engine = QueryEngine(
             graph, seed=seed, algorithm=algorithm,
             pairwise_algorithm=pairwise_algorithm, matcher=matcher,
-            cache=cache, obs=self.obs, backend=backend, workers=workers,
+            cache=cache, obs=None, backend=backend, workers=workers,
         )
         maintained = None
         if maintain is not None:
@@ -208,9 +230,37 @@ class CensusServer:
             doc["maintained_embeddings"] = self.state.maintained.num_embeddings()
         return 200, "application/json", encode(doc)
 
-    def handle_metrics(self):
+    def handle_metrics(self, fmt="prometheus"):
+        if fmt == "json":
+            # The JSON snapshot carries per-histogram p50/p95/p99.
+            return 200, "application/json", to_json(self.obs.registry).encode("utf-8")
         text = to_prometheus(self.obs.registry)
         return 200, PROMETHEUS_CONTENT_TYPE, text.encode("utf-8")
+
+    # -- debug endpoints -------------------------------------------------
+    def handle_debug_traces(self):
+        doc = {"traces": self.telemetry.trace_summaries(),
+               "sample_rate": self.telemetry.sample_rate}
+        return 200, "application/json", encode(doc)
+
+    def handle_debug_trace(self, request_id):
+        trace = self.telemetry.trace(request_id)
+        if trace is None:
+            return 404, "application/json", encode(
+                error_document(f"no retained trace {request_id!r} (evicted, "
+                               "unsampled, or unknown)")
+            )
+        return 200, "application/json", encode(trace.to_dict())
+
+    def handle_debug_slow(self):
+        doc = {"slow": self.telemetry.slow_records(),
+               "slow_query_ms": self.telemetry.slow_query_ms}
+        return 200, "application/json", encode(doc)
+
+    def handle_debug_requests(self):
+        return 200, "application/json", encode(
+            {"in_flight": self.telemetry.in_flight()}
+        )
 
     def handle_counts(self):
         if self.state.maintained is None:
@@ -227,83 +277,129 @@ class CensusServer:
 
     def handle_query(self, headers, body, content_type):
         self.obs.add("server.requests")
-        try:
-            with self.admission.slot():
-                request = parse_query_request(
-                    headers, body, content_type, self.defaults,
+        with self.telemetry.request("query", on_slow=self._slow_plan) as trace:
+            try:
+                with self.admission.slot() as waited:
+                    if waited:
+                        trace.root.set("admission_wait_s", round(waited, 6))
+                    request = parse_query_request(
+                        headers, body, content_type, self.defaults,
+                    )
+                    trace.query = request.canonical
+                    with self.state.read():
+                        version = self.state.version
+                        key = (
+                            request.canonical,
+                            version,
+                            _freeze(request.budget),
+                            request.degrade,
+                        )
+                        entered = time.perf_counter()
+                        table, coalesced, leader_id = self.coalescer.run_traced(
+                            key,
+                            lambda: self.engine.execute(
+                                request.query, budget=request.budget,
+                                degrade=request.degrade,
+                            ),
+                            token=trace.request_id,
+                        )
+                        if coalesced:
+                            trace.link_leader(
+                                leader_id, time.perf_counter() - entered,
+                            )
+            except Saturated as exc:
+                trace.status = 429
+                self.obs.add("server.rejected")
+                doc = error_document(str(exc), retry_after=exc.retry_after)
+                return 429, "application/json", encode(doc), {
+                    "Retry-After": f"{exc.retry_after:g}",
+                }
+            except Draining:
+                trace.status = 503
+                return 503, "application/json", encode(
+                    error_document("server is draining")
                 )
-                with self.state.read():
-                    version = self.state.version
-                    key = (
-                        request.canonical,
-                        version,
-                        _freeze(request.budget),
-                        request.degrade,
-                    )
-                    table, coalesced = self.coalescer.run(
-                        key,
-                        lambda: self.engine.execute(
-                            request.query, budget=request.budget,
-                            degrade=request.degrade,
-                        ),
-                    )
-        except Saturated as exc:
-            self.obs.add("server.rejected")
-            doc = error_document(str(exc), retry_after=exc.retry_after)
-            return 429, "application/json", encode(doc), {
-                "Retry-After": f"{exc.retry_after:g}",
-            }
-        except Draining:
-            return 503, "application/json", encode(
-                error_document("server is draining")
-            )
-        except BadRequest as exc:
-            self.obs.add("server.bad_requests")
-            return 400, "application/json", encode(error_document(str(exc)))
-        except BudgetExceeded as exc:
-            self.obs.add("server.budget_exceeded")
-            hint = ("even the sampling fallback exceeded its grace budget"
-                    if request.degrade
-                    else "retry with degrade for a partial estimate")
-            return 503, "application/json", encode(
-                error_document(str(exc), hint=hint)
-            )
-        except (QueryError, CensusError) as exc:
-            self.obs.add("server.bad_requests")
-            return 400, "application/json", encode(error_document(str(exc)))
+            except BadRequest as exc:
+                trace.status = 400
+                self.obs.add("server.bad_requests")
+                return 400, "application/json", encode(error_document(str(exc)))
+            except BudgetExceeded as exc:
+                trace.status = 503
+                self.obs.add("server.budget_exceeded")
+                hint = ("even the sampling fallback exceeded its grace budget"
+                        if request.degrade
+                        else "retry with degrade for a partial estimate")
+                return 503, "application/json", encode(
+                    error_document(str(exc), hint=hint)
+                )
+            except (QueryError, CensusError) as exc:
+                trace.status = 400
+                self.obs.add("server.bad_requests")
+                return 400, "application/json", encode(error_document(str(exc)))
 
-        if coalesced:
-            self.obs.add("server.coalesced")
-        if table.partial:
-            self.obs.add("server.partial")
-        return 200, "application/json", encode(
-            result_document(table, version, coalesced)
-        )
+            trace.status = 200
+            if coalesced:
+                self.obs.add("server.coalesced")
+            if table.partial:
+                self.obs.add("server.partial")
+            return 200, "application/json", encode(
+                result_document(
+                    table, version, coalesced,
+                    request_id=trace.request_id, trace_id=trace.trace_id,
+                    sampled=trace.sampled,
+                )
+            )
+
+    def _slow_plan(self, trace):
+        """Rendered ``EXPLAIN ANALYZE`` for a just-finished slow request.
+
+        Replays the annotation over the trace's recorded span tree —
+        the query is **not** executed again.  Coalesced followers have
+        no execution spans of their own, so their capture degrades to
+        the static plan (the leader's trace carries the actuals).
+        """
+        if trace.query is None:
+            return None
+        root = None
+        if trace.root is not None:
+            root = trace.root.find("query.execute") or trace.root
+        with self.state.read():
+            return render_analyzed_plan(
+                self.engine, trace.query, root, trace.ctx.registry,
+            )
 
     def handle_update(self, body):
         self.obs.add("server.requests")
-        try:
-            with self.admission.slot():
-                ops = parse_update_request(body)
-                version = self.state.apply(ops)
-        except Saturated as exc:
-            self.obs.add("server.rejected")
-            doc = error_document(str(exc), retry_after=exc.retry_after)
-            return 429, "application/json", encode(doc), {
-                "Retry-After": f"{exc.retry_after:g}",
-            }
-        except Draining:
-            return 503, "application/json", encode(
-                error_document("server is draining")
+        with self.telemetry.request("update") as trace:
+            try:
+                with self.admission.slot() as waited:
+                    if waited:
+                        trace.root.set("admission_wait_s", round(waited, 6))
+                    ops = parse_update_request(body)
+                    version = self.state.apply(ops)
+            except Saturated as exc:
+                trace.status = 429
+                self.obs.add("server.rejected")
+                doc = error_document(str(exc), retry_after=exc.retry_after)
+                return 429, "application/json", encode(doc), {
+                    "Retry-After": f"{exc.retry_after:g}",
+                }
+            except Draining:
+                trace.status = 503
+                return 503, "application/json", encode(
+                    error_document("server is draining")
+                )
+            except (BadRequest, QueryError, GraphError) as exc:
+                trace.status = 400
+                self.obs.add("server.bad_requests")
+                return 400, "application/json", encode(error_document(str(exc)))
+            trace.status = 200
+            self.obs.add("server.updates")
+            self.obs.set_gauge("server.graph_version", version)
+            return 200, "application/json", encode(
+                {"graph_version": version, "applied": len(ops),
+                 "request_id": trace.request_id, "trace_id": trace.trace_id}
             )
-        except (BadRequest, QueryError, GraphError) as exc:
-            self.obs.add("server.bad_requests")
-            return 400, "application/json", encode(error_document(str(exc)))
-        self.obs.add("server.updates")
-        self.obs.set_gauge("server.graph_version", version)
-        return 200, "application/json", encode(
-            {"graph_version": version, "applied": len(ops)}
-        )
 
 
 def _freeze(mapping):
@@ -350,12 +446,25 @@ def _make_handler(server):
             self._respond(*result)
 
         def do_GET(self):
-            if self.path == "/health":
+            parts = urlsplit(self.path)
+            path = parts.path
+            if path == "/health":
                 self._dispatch(server.handle_health)
-            elif self.path == "/metrics":
-                self._dispatch(server.handle_metrics)
-            elif self.path == "/counts":
+            elif path == "/metrics":
+                query = parse_qs(parts.query)
+                fmt = (query.get("format") or ["prometheus"])[0]
+                self._dispatch(lambda: server.handle_metrics(fmt))
+            elif path == "/counts":
                 self._dispatch(server.handle_counts)
+            elif path == "/debug/traces":
+                self._dispatch(server.handle_debug_traces)
+            elif path.startswith("/debug/traces/"):
+                request_id = path[len("/debug/traces/"):]
+                self._dispatch(lambda: server.handle_debug_trace(request_id))
+            elif path == "/debug/slow":
+                self._dispatch(server.handle_debug_slow)
+            elif path == "/debug/requests":
+                self._dispatch(server.handle_debug_requests)
             else:
                 self._respond(404, "application/json",
                               encode(error_document(f"no route {self.path}")))

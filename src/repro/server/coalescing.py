@@ -27,13 +27,14 @@ import threading
 class _Flight:
     """One in-progress execution and its eventual outcome."""
 
-    __slots__ = ("done", "value", "error", "followers")
+    __slots__ = ("done", "value", "error", "followers", "token")
 
-    def __init__(self):
+    def __init__(self, token=None):
         self.done = threading.Event()
         self.value = None
         self.error = None
         self.followers = 0
+        self.token = token
 
 
 class Coalescer:
@@ -50,13 +51,24 @@ class Coalescer:
         for followers that shared a leader's execution.  A leader's
         exception propagates to the leader and every follower alike.
         """
+        value, coalesced, _ = self.run_traced(key, compute)
+        return value, coalesced
+
+    def run_traced(self, key, compute, token=None):
+        """:meth:`run`, carrying an opaque identity ``token`` per flight.
+
+        Returns ``(value, coalesced, leader_token)``: the leader's
+        ``token`` (its request ID, for the serving path) so followers
+        can link their trace to the execution that actually answered
+        them.  The leader sees its own token back.
+        """
         with self._lock:
             flight = self._flights.get(key)
             if flight is not None:
                 flight.followers += 1
                 is_leader = False
             else:
-                flight = _Flight()
+                flight = _Flight(token=token)
                 self._flights[key] = flight
                 is_leader = True
 
@@ -64,7 +76,7 @@ class Coalescer:
             flight.done.wait()
             if flight.error is not None:
                 raise flight.error
-            return flight.value, True
+            return flight.value, True, flight.token
 
         try:
             flight.value = compute()
@@ -78,7 +90,7 @@ class Coalescer:
             with self._lock:
                 del self._flights[key]
             flight.done.set()
-        return flight.value, False
+        return flight.value, False, flight.token
 
     def in_flight(self):
         """Number of distinct executions currently running."""

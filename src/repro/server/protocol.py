@@ -182,14 +182,23 @@ def parse_update_request(raw_body):
     return ops
 
 
-def result_document(table, graph_version, coalesced):
-    """The JSON document for a successful query response."""
+def result_document(table, graph_version, coalesced, request_id=None,
+                    trace_id=None, sampled=None):
+    """The JSON document for a successful query response.
+
+    Request identity fields are included only when ``request_id`` is
+    given, so pre-telemetry callers keep their exact document shape.
+    """
     doc = {
         "columns": table.columns,
         "rows": [list(r) for r in table.rows],
         "graph_version": graph_version,
         "coalesced": coalesced,
     }
+    if request_id is not None:
+        doc["request_id"] = request_id
+        doc["trace_id"] = trace_id
+        doc["sampled"] = bool(sampled)
     if table.partial:
         doc["partial"] = True
         doc["notes"] = table.notes

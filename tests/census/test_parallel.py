@@ -164,6 +164,40 @@ class TestObservability:
         hist = obs.registry.histograms()["census.parallel.chunk_seconds"]
         assert hist.count == 3
 
+    @pytest.mark.parametrize("executor", ("serial", "thread", "process"))
+    def test_chunk_spans_stitched_into_parent_trace(self, executor):
+        # Every executor — including process pools, whose workers cannot
+        # share Span objects — ships its chunk span subtrees back and
+        # the parent reattaches them under census.parallel.
+        g = preferential_attachment(40, m=2, seed=9)
+        with ObsContext() as obs:
+            parallel_census(g, triangle(), 2, algorithm="nd-pvot", workers=2,
+                            executor=executor)
+        root = obs.root("census.parallel")
+        chunks = [c for c in root.children if c.name == "census.parallel.chunk"]
+        assert len(chunks) == 2
+        for index, chunk in enumerate(chunks):
+            assert chunk.attrs["chunk"] == index
+            assert chunk.attrs["focal_nodes"] > 0
+            assert chunk.duration > 0
+            # The algorithm's own span survived the round-trip.
+            assert chunk.find("census.nd_pvot") is not None
+
+    def test_serial_chunk_spans_do_not_leak_into_parent(self):
+        # Same-thread chunks used to attach census.nd_pvot spans
+        # directly under census.parallel via the ambient current-span;
+        # with detached chunk contexts they appear only inside their
+        # stitched census.parallel.chunk wrapper.
+        g = preferential_attachment(30, m=2, seed=9)
+        with ObsContext() as obs:
+            parallel_census(g, triangle(), 2, algorithm="nd-pvot", workers=2,
+                            executor="serial")
+        root = obs.root("census.parallel")
+        # The shared matching pass runs in the parent (match.cn); the
+        # census spans themselves must only appear inside chunk wrappers.
+        assert "census.nd_pvot" not in {c.name for c in root.children}
+        assert [c.name for c in root.children].count("census.parallel.chunk") == 2
+
     @pytest.mark.parametrize("executor", ("serial", "thread"))
     def test_collect_stats_merged_across_chunks(self, executor):
         # Regression: the caller's collect_stats dict used to come back

@@ -59,3 +59,71 @@ class TestPrometheusText:
 
     def test_empty_registry_exports_empty(self):
         assert to_prometheus(MetricsRegistry()) == ""
+
+    def test_seconds_suffix_not_doubled(self):
+        # Regression: census.parallel.chunk_seconds used to export as
+        # repro_census_parallel_chunk_seconds_seconds.
+        reg = MetricsRegistry()
+        reg.histogram("census.parallel.chunk_seconds", buckets=(1.0,)).observe(0.5)
+        text = to_prometheus(reg)
+        assert "repro_census_parallel_chunk_seconds_count 1" in text
+        assert "chunk_seconds_seconds" not in text
+
+
+class TestLabeledExposition:
+    def make_registry(self):
+        reg = MetricsRegistry()
+        for endpoint, values in (("query", (0.005, 0.05)), ("update", (0.002,))):
+            h = reg.histogram(
+                "server.request_seconds", buckets=(0.01, 0.1),
+                labels={"endpoint": endpoint, "backend": "csr"},
+            )
+            for v in values:
+                h.observe(v)
+        reg.counter("server.coalesced_hits", labels={"endpoint": "query"}).inc(4)
+        return reg
+
+    def test_labeled_histogram_series(self):
+        text = to_prometheus(self.make_registry())
+        assert ('repro_server_request_seconds_bucket'
+                '{backend="csr",endpoint="query",le="0.01"} 1') in text
+        assert ('repro_server_request_seconds_bucket'
+                '{backend="csr",endpoint="query",le="+Inf"} 2') in text
+        assert ('repro_server_request_seconds_count'
+                '{backend="csr",endpoint="query"} 2') in text
+        assert ('repro_server_request_seconds_bucket'
+                '{backend="csr",endpoint="update",le="+Inf"} 1') in text
+
+    def test_type_line_once_per_family(self):
+        text = to_prometheus(self.make_registry())
+        assert text.count("# TYPE repro_server_request_seconds histogram") == 1
+
+    def test_labeled_counter(self):
+        text = to_prometheus(self.make_registry())
+        assert ('repro_server_coalesced_hits_total{endpoint="query"} 4') in text
+
+    def test_per_endpoint_p95_derivable(self):
+        # The acceptance bar: cumulative per-endpoint buckets suffice to
+        # compute a p95 from a scrape alone.
+        text = to_prometheus(self.make_registry())
+        buckets = {}
+        for line in text.splitlines():
+            if (line.startswith("repro_server_request_seconds_bucket")
+                    and 'endpoint="query"' in line):
+                labels, value = line.rsplit(" ", 1)
+                le = labels.split('le="')[1].split('"')[0]
+                buckets[le] = int(value)
+        total = buckets["+Inf"]
+        rank = 0.95 * total
+        p95_bound = next(
+            le for le in ("0.01", "0.1", "+Inf") if buckets[le] >= rank
+        )
+        assert p95_bound == "0.1"
+
+    def test_json_snapshot_carries_quantiles(self):
+        doc = json.loads(to_json(self.make_registry()))
+        key = "server.request_seconds{backend=csr,endpoint=query}"
+        hist = doc["histograms"][key]
+        assert hist["count"] == 2
+        assert hist["p50"] is not None and hist["p95"] is not None
+        assert hist["p50"] <= hist["p95"]
